@@ -1,0 +1,128 @@
+// Command hashcore is the CLI front-end to the HashCore PoW function:
+// hash inputs, dump generated widgets, inspect pipeline intermediates,
+// and mine/verify nonces.
+//
+// Usage:
+//
+//	hashcore hash [-profile leela] <input-string>
+//	hashcore widget [-profile leela] <input-string>
+//	hashcore inspect [-profile leela] <input-string>
+//	hashcore mine [-profile leela] [-bits 8] [-workers 2] <prefix-string>
+//	hashcore verify [-profile leela] [-bits 8] -nonce N <prefix-string>
+//	hashcore profiles
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hashcore"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hashcore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return usageError()
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	profileName := fs.String("profile", "leela", "reference workload profile")
+	bits := fs.Uint("bits", 8, "difficulty: required leading zero bits")
+	workers := fs.Int("workers", 2, "mining worker goroutines")
+	nonce := fs.Uint64("nonce", 0, "nonce to verify")
+	widgets := fs.Int("widgets", 1, "number of chained widgets")
+
+	switch cmd {
+	case "profiles":
+		for _, name := range hashcore.Profiles() {
+			fmt.Println(name)
+		}
+		return nil
+	case "hash", "widget", "inspect", "mine", "verify":
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		input := strings.Join(fs.Args(), " ")
+		if input == "" {
+			return fmt.Errorf("%s: missing input string", cmd)
+		}
+		h, err := hashcore.New(
+			hashcore.WithProfile(*profileName),
+			hashcore.WithWidgets(*widgets),
+		)
+		if err != nil {
+			return err
+		}
+		return dispatch(cmd, h, input, *bits, *workers, *nonce)
+	default:
+		return usageError()
+	}
+}
+
+func dispatch(cmd string, h *hashcore.Hasher, input string, bits uint, workers int, nonce uint64) error {
+	switch cmd {
+	case "hash":
+		digest, err := h.Hash([]byte(input))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%x\n", digest)
+		return nil
+	case "widget":
+		src, err := h.WidgetSource([]byte(input))
+		if err != nil {
+			return err
+		}
+		fmt.Print(src)
+		return nil
+	case "inspect":
+		info, err := h.Inspect([]byte(input))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("profile:              %s\n", h.ProfileName())
+		fmt.Printf("seed:                 %x\n", info.Seed)
+		fmt.Printf("static instructions:  %d\n", info.StaticInstructions)
+		fmt.Printf("dynamic instructions: %d\n", info.DynamicInstructions)
+		fmt.Printf("widget output:        %d bytes\n", info.OutputBytes)
+		fmt.Printf("digest:               %x\n", info.Digest)
+		return nil
+	case "mine":
+		target := hashcore.TargetWithZeroBits(bits)
+		fmt.Printf("mining %q at %d leading zero bits with %s...\n", input, bits, h.Name())
+		res, err := h.Mine(context.Background(), []byte(input), target, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("nonce:    %d\n", res.Nonce)
+		fmt.Printf("attempts: %d\n", res.Attempts)
+		fmt.Printf("digest:   %x\n", res.Digest)
+		return nil
+	case "verify":
+		target := hashcore.TargetWithZeroBits(bits)
+		ok, err := h.VerifyNonce([]byte(input), nonce, target)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("nonce %d does NOT meet %d bits for %q", nonce, bits, input)
+		}
+		fmt.Printf("nonce %d valid for %q at %d bits\n", nonce, input, bits)
+		return nil
+	}
+	return usageError()
+}
+
+func usageError() error {
+	return fmt.Errorf("usage: hashcore <hash|widget|inspect|mine|verify|profiles> [flags] <input>")
+}

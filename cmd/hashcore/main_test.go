@@ -1,0 +1,132 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// The CLI is a thin shell over the public API; these tests drive run()
+// directly with a fast profile substitute being unavailable (flags only
+// select built-ins), so they use small difficulties and single inputs.
+
+func TestRunUsageErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"no args":       {},
+		"unknown cmd":   {"frobnicate"},
+		"missing input": {"hash"},
+		"unknown flag":  {"hash", "-bogus", "x"},
+		"bad profile":   {"hash", "-profile", "nope", "input"},
+		"widgets range": {"hash", "-widgets", "100", "input"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := run(args); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestRunProfiles(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := run([]string{"profiles"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, want := range []string{"leela", "mcf", "lbm"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profiles output missing %q", want)
+		}
+	}
+}
+
+func TestRunHashAndWidget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale widget run in -short mode")
+	}
+	out := captureStdout(t, func() {
+		if err := run([]string{"hash", "test input"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(strings.TrimSpace(out)) != 64 {
+		t.Errorf("hash output %q is not a 32-byte hex digest", strings.TrimSpace(out))
+	}
+
+	out = captureStdout(t, func() {
+		if err := run([]string{"widget", "test input"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !strings.Contains(out, ".block 0") || !strings.Contains(out, "halt") {
+		t.Error("widget output is not assembly source")
+	}
+
+	out = captureStdout(t, func() {
+		if err := run([]string{"inspect", "test input"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !strings.Contains(out, "dynamic instructions") {
+		t.Errorf("inspect output missing fields:\n%s", out)
+	}
+}
+
+func TestRunMineVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mining in -short mode")
+	}
+	out := captureStdout(t, func() {
+		if err := run([]string{"mine", "-bits", "2", "-workers", "2", "hdr"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var nonce string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "nonce:") {
+			nonce = strings.TrimSpace(strings.TrimPrefix(line, "nonce:"))
+		}
+	}
+	if nonce == "" {
+		t.Fatalf("no nonce in mine output:\n%s", out)
+	}
+	captureStdout(t, func() {
+		if err := run([]string{"verify", "-bits", "2", "-nonce", nonce, "hdr"}); err != nil {
+			t.Fatalf("verify rejected mined nonce: %v", err)
+		}
+	})
+	if err := run([]string{"verify", "-bits", "30", "-nonce", nonce, "hdr"}); err == nil {
+		t.Error("verify accepted a nonce at an absurd difficulty")
+	}
+}
+
+// captureStdout redirects os.Stdout for the duration of fn.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 0, 4096)
+		tmp := make([]byte, 1024)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	defer func() {
+		os.Stdout = old
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}

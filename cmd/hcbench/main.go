@@ -1,0 +1,139 @@
+// Command hcbench regenerates the paper's tables and figures at full
+// scale. Each experiment prints its data to stdout; EXPERIMENTS.md records
+// the outputs alongside the paper's claims.
+//
+// Usage:
+//
+//	hcbench -run all            # everything (minutes)
+//	hcbench -run fig2 -n 1000   # just Figure 2 at the paper's N
+//	hcbench -run table1|fig1|fig2|fig3|sizes|noise|genvssel|randomx|baselines|mine
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hashcore/internal/experiments"
+	"hashcore/internal/perfprox"
+	"hashcore/internal/vm"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run (all, table1, fig1, fig2, fig3, sizes, noise, genvssel, predictors, randomx, baselines, mine)")
+	n := flag.Int("n", 1000, "widget population size for fig2/fig3/sizes/noise")
+	profileName := flag.String("profile", "leela", "reference workload profile")
+	seed := flag.Uint64("seed", 2019, "master seed for widget seeds")
+	flag.Parse()
+
+	if err := dispatch(*run, *n, *profileName, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "hcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func dispatch(run string, n int, profileName string, seed uint64) error {
+	wants := map[string]bool{}
+	for _, name := range strings.Split(run, ",") {
+		wants[strings.TrimSpace(name)] = true
+	}
+	all := wants["all"]
+
+	var pop *experiments.Population
+	needPop := all || wants["fig2"] || wants["fig3"] || wants["sizes"] || wants["noise"]
+	if needPop {
+		fmt.Printf("== widget population: n=%d profile=%s (this simulates every widget cycle-by-cycle) ==\n", n, profileName)
+		var err error
+		pop, err = experiments.RunPopulation(experiments.Config{
+			N: n, ProfileName: profileName, MasterSeed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("population simulated in %s\n\n", pop.Elapsed.Round(1e7))
+	}
+
+	if all || wants["table1"] {
+		fmt.Println("== Table I: hash seed usage ==")
+		var s perfprox.Seed
+		for i := range s {
+			s[i] = byte(i*7 + 1)
+		}
+		fmt.Println(experiments.Table1(s))
+	}
+	if all || wants["fig1"] {
+		fmt.Println("== Figure 1: pipeline stage timing ==")
+		st, err := experiments.Figure1(profileName, []byte("hcbench"), perfprox.Params{}, vm.Params{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("gate: %s  generate: %s  compile: %s  execute: %s  total: %s\ndigest: %x\n\n",
+			st.Gate, st.Generate, st.Compile, st.Execute, st.Total, st.Digest[:8])
+	}
+	if pop != nil && (all || wants["fig2"]) {
+		fmt.Println("==", "Figure 2 ==")
+		fmt.Println(experiments.Figure2(pop).Render())
+	}
+	if pop != nil && (all || wants["fig3"]) {
+		fmt.Println("== Figure 3 ==")
+		fmt.Println(experiments.Figure3(pop).Render())
+	}
+	if pop != nil && (all || wants["sizes"]) {
+		fmt.Println("== Widget output sizes (paper: 20-38 KB) ==")
+		fmt.Println(experiments.OutputSizes(pop).Render())
+	}
+	if pop != nil && (all || wants["noise"]) {
+		fmt.Println("== Branch fraction under positive-only noise (paper §V) ==")
+		fmt.Println(experiments.BranchFractions(pop).Render())
+	}
+	if all || wants["genvssel"] {
+		fmt.Println("== §VI-A ablation: generation vs selection ==")
+		results, err := experiments.GenVsSel(profileName, []int{16, 64, 256}, 8, vm.Params{})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderGenVsSel(results))
+	}
+	if all || wants["predictors"] {
+		fmt.Println("== Predictor ablation: widget branch behaviour per predictor family ==")
+		results, err := experiments.PredictorAblation(profileName, seed, vm.Params{})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderPredictorAblation(results))
+	}
+	if all || wants["randomx"] {
+		fmt.Println("== §VI-C ablation: RandomX-lite (uniform generation) IPC ==")
+		rep, err := experiments.RandomXPopulation(min(n, 50), seed, vm.Params{})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Render())
+	}
+	if all || wants["baselines"] {
+		fmt.Println("== Baseline PoW throughput ==")
+		results, err := experiments.BaselineThroughput(profileName, 20, vm.Params{})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderThroughput(results))
+	}
+	if all || wants["mine"] {
+		fmt.Println("== End-to-end mining demo ==")
+		out, err := experiments.MineDemo(context.Background(), profileName, 3, vm.Params{})
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,31 @@
+// Command hcchain mines a toy blockchain with HashCore as the PoW
+// function — the end-to-end deployment the paper motivates, at demo-scale
+// difficulty.
+//
+// Usage:
+//
+//	hcchain [-blocks 5] [-profile leela]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"hashcore/internal/experiments"
+	"hashcore/internal/vm"
+)
+
+func main() {
+	blocks := flag.Int("blocks", 5, "number of blocks to mine")
+	profileName := flag.String("profile", "leela", "reference workload profile")
+	flag.Parse()
+
+	out, err := experiments.MineDemo(context.Background(), *profileName, *blocks, vm.Params{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hcchain:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

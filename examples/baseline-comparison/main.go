@@ -1,0 +1,33 @@
+// Baseline comparison: race HashCore against the related-work PoW
+// functions (§II of the paper) — SHA-256d (Bitcoin), scrypt (memory-hard)
+// and a RandomX-style uniform random-program VM — and show the §VI-A
+// generation-vs-selection trade-off.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hashcore/internal/experiments"
+	"hashcore/internal/vm"
+)
+
+func main() {
+	fmt.Println("== PoW function throughput (single goroutine) ==")
+	fmt.Println("(HashCore being ~10^5 slower per hash than SHA-256d is the design:")
+	fmt.Println(" the per-hash work is a whole pseudo-random CPU workload)")
+	results, err := experiments.BaselineThroughput("leela", 10, vm.Params{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.RenderThroughput(results))
+
+	fmt.Println("== generation vs selection (paper §VI-A) ==")
+	gvs, err := experiments.GenVsSel("leela", []int{16, 64}, 5, vm.Params{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.RenderGenVsSel(gvs))
+	fmt.Println("selection trades storage (pool bytes) for a higher execution share per hash,")
+	fmt.Println("exactly the trade-off the paper describes.")
+}

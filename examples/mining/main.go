@@ -1,0 +1,49 @@
+// Mining: use HashCore as the PoW function of a block header search, then
+// verify the found nonce the way a validating node would.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"hashcore"
+)
+
+func main() {
+	h, err := hashcore.New(hashcore.WithProfile("leela"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each HashCore evaluation takes milliseconds by design (that IS the
+	// work), so a demo difficulty of 4 leading zero bits (~16 expected
+	// evaluations) completes in seconds.
+	const difficultyBits = 4
+	target := hashcore.TargetWithZeroBits(difficultyBits)
+	header := []byte("block 42 | prev 00ab..cd | merkle 77ee..ff |")
+
+	fmt.Printf("mining %d-bit difficulty with %s, 2 workers...\n", difficultyBits, h.Name())
+	start := time.Now()
+	res, err := h.Mine(context.Background(), header, target, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("found nonce %d after %d attempts in %s (%.1f H/s)\n",
+		res.Nonce, res.Attempts, elapsed.Round(time.Millisecond),
+		float64(res.Attempts)/elapsed.Seconds())
+	fmt.Printf("digest: %x\n", res.Digest)
+
+	// Verification replays a single hash — cheap relative to the search.
+	start = time.Now()
+	ok, err := h.VerifyNonce(header, res.Nonce, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verification: %v in %s\n", ok, time.Since(start).Round(time.Millisecond))
+	if !ok {
+		log.Fatal("mined nonce failed verification")
+	}
+}

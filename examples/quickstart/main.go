@@ -1,0 +1,48 @@
+// Quickstart: compute HashCore digests and inspect what one evaluation
+// actually does (seed -> widget -> execution -> digest).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hashcore"
+)
+
+func main() {
+	// A default hasher targets the Leela profile, as in the paper's
+	// experiments.
+	h, err := hashcore.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	input := []byte("my block header")
+	digest := h.Sum(input)
+	fmt.Printf("HashCore(%q) = %x\n", input, digest)
+
+	// Digests are deterministic: any verifier recomputes the same value.
+	if h.Sum(input) != digest {
+		log.Fatal("determinism violated?!")
+	}
+	fmt.Println("recomputed digest matches (verifiable PoW)")
+
+	// Look inside the pipeline: the input picked a seed, the seed
+	// generated a widget, the widget ran to completion.
+	info, err := h.Inspect(input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("seed:                 %x...\n", info.Seed[:8])
+	fmt.Printf("widget static size:   %d instructions\n", info.StaticInstructions)
+	fmt.Printf("widget dynamic size:  %d instructions executed\n", info.DynamicInstructions)
+	fmt.Printf("widget output:        %.1f KB of register snapshots\n", float64(info.OutputBytes)/1024)
+
+	// A different input selects a completely different widget.
+	other, err := h.Inspect([]byte("another header"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("different input -> different widget (dynamic %d vs %d) and digest %x...\n",
+		info.DynamicInstructions, other.DynamicInstructions, other.Digest[:8])
+}

@@ -1,0 +1,284 @@
+// Package hashcore is a Go implementation of HashCore, the Proof-of-Work
+// function of "HashCore: Proof-of-Work Functions for General Purpose
+// Processors" (Georghiades, Flolid, Vishwanath — ICDCS 2019).
+//
+// HashCore hashes an input by (1) passing it through a hash gate
+// (SHA-256) to obtain a 256-bit seed, (2) pseudo-randomly generating a
+// short program — a widget — whose execution profile matches a reference
+// CPU workload perturbed by that seed ("inverted benchmarking"),
+// (3) executing the widget and collecting its register-snapshot output,
+// and (4) gating seed‖output into the final digest:
+//
+//	H(x) = G(s || W(s)),   s = G(x)
+//
+// Collision resistance of H reduces to that of G (Theorem 1 of the paper)
+// regardless of how widgets behave.
+//
+// This reproduction runs widgets on a deterministic synthetic machine
+// rather than native x86 (see DESIGN.md for the substitution argument),
+// so digests are portable and verifiable across platforms.
+//
+// # Quick start
+//
+//	h, err := hashcore.New()                    // Leela profile, defaults
+//	if err != nil { ... }
+//	digest := h.Sum([]byte("block header"))
+//
+// Use WithProfile to target another reference workload, and Mine /
+// VerifyNonce for blockchain-style usage.
+package hashcore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"hashcore/internal/core"
+	"hashcore/internal/gate"
+	"hashcore/internal/perfprox"
+	"hashcore/internal/pow"
+	"hashcore/internal/profile"
+	"hashcore/internal/vm"
+	"hashcore/internal/workload"
+)
+
+// DigestSize is the digest size in bytes.
+const DigestSize = core.DigestSize
+
+// Digest is a HashCore digest.
+type Digest = core.Digest
+
+// config collects the functional-option state.
+type config struct {
+	profileName string
+	prof        *profile.Profile
+	widgets     int
+	sourcePath  bool
+	snapshot    uint64
+	noise       float64
+	loopTrips   int
+}
+
+// Option configures New.
+type Option func(*config) error
+
+// WithProfile selects a built-in reference workload profile by name
+// (see Profiles). The default is "leela", the workload the paper's
+// experiments use.
+func WithProfile(name string) Option {
+	return func(c *config) error {
+		c.profileName = name
+		return nil
+	}
+}
+
+// WithCustomProfile supplies a caller-constructed profile (advanced use:
+// targeting a different GPP per the paper's §VI-B is done by swapping the
+// profile).
+func WithCustomProfile(p *profile.Profile) Option {
+	return func(c *config) error {
+		if p == nil {
+			return errors.New("hashcore: nil profile")
+		}
+		c.prof = p.Clone()
+		return nil
+	}
+}
+
+// WithWidgets chains n widgets sequentially per hash (default 1, as in
+// the paper's Figure 1; the paper notes multiple widgets are possible).
+func WithWidgets(n int) Option {
+	return func(c *config) error {
+		if n < 1 || n > 64 {
+			return fmt.Errorf("hashcore: widget count %d out of range [1,64]", n)
+		}
+		c.widgets = n
+		return nil
+	}
+}
+
+// WithSourcePipeline routes every hash through the textual widget source
+// and the assembler — the paper-faithful three-stage pipeline — at a small
+// speed cost. Results are bit-identical either way.
+func WithSourcePipeline(enabled bool) Option {
+	return func(c *config) error {
+		c.sourcePath = enabled
+		return nil
+	}
+}
+
+// WithSnapshotInterval overrides the register-snapshot interval (retired
+// instructions between snapshots). Smaller intervals produce larger widget
+// outputs. The default (2048) lands outputs in the paper's 20-38 KB band.
+func WithSnapshotInterval(interval uint64) Option {
+	return func(c *config) error {
+		if interval == 0 {
+			return errors.New("hashcore: snapshot interval must be positive")
+		}
+		c.snapshot = interval
+		return nil
+	}
+}
+
+// WithNoise overrides the maximum fractional positive noise the hash seed
+// adds to widget instruction-class budgets (default 0.5).
+func WithNoise(noise float64) Option {
+	return func(c *config) error {
+		if noise < 0 || noise > 4 {
+			return fmt.Errorf("hashcore: noise %v out of range [0,4]", noise)
+		}
+		c.noise = noise
+		return nil
+	}
+}
+
+// WithLoopTrips overrides the widget outer-loop trip count (default 64),
+// trading static code footprint against per-iteration work.
+func WithLoopTrips(trips int) Option {
+	return func(c *config) error {
+		if trips < 2 || trips > 1<<16 {
+			return fmt.Errorf("hashcore: loop trips %d out of range", trips)
+		}
+		c.loopTrips = trips
+		return nil
+	}
+}
+
+// Hasher is an instantiated HashCore function. It is immutable and safe
+// for concurrent use, and satisfies the PoW-hasher shape used by Mine.
+type Hasher struct {
+	f *core.Func
+}
+
+// New builds a HashCore hasher. With no options it targets the Leela
+// profile with the paper's defaults.
+func New(opts ...Option) (*Hasher, error) {
+	cfg := config{profileName: "leela"}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	prof := cfg.prof
+	if prof == nil {
+		w, err := workload.ByName(cfg.profileName)
+		if err != nil {
+			return nil, fmt.Errorf("hashcore: %w", err)
+		}
+		prof = w.Profile
+	}
+	f, err := core.New(core.Options{
+		Gate:    gate.SHA256{},
+		Profile: prof,
+		GenParams: perfprox.Params{
+			Noise:     cfg.noise,
+			LoopTrips: cfg.loopTrips,
+		},
+		VMParams:          vm.Params{SnapshotInterval: cfg.snapshot},
+		Widgets:           cfg.widgets,
+		UseSourcePipeline: cfg.sourcePath,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Hasher{f: f}, nil
+}
+
+// Hash computes the HashCore digest of input.
+func (h *Hasher) Hash(input []byte) (Digest, error) { return h.f.Hash(input) }
+
+// Sum is Hash without the error return; it panics only on internal
+// invariant violations (never on any input value).
+func (h *Hasher) Sum(input []byte) Digest { return h.f.Sum(input) }
+
+// Name identifies the hasher, e.g. "hashcore-leela".
+func (h *Hasher) Name() string { return "hashcore-" + h.f.ProfileName() }
+
+// ProfileName returns the target profile's name.
+func (h *Hasher) ProfileName() string { return h.f.ProfileName() }
+
+// WidgetSource returns the assembly text of the widget that input selects
+// — the reproduction's analogue of the generated C program.
+func (h *Hasher) WidgetSource(input []byte) (string, error) {
+	tr, err := h.f.Trace(input)
+	if err != nil {
+		return "", err
+	}
+	return tr.Source, nil
+}
+
+// Inspection describes one hash evaluation's intermediates.
+type Inspection struct {
+	// Seed is the hash seed G(input).
+	Seed [32]byte
+	// StaticInstructions is the widget's static code size.
+	StaticInstructions int
+	// DynamicInstructions is the retired instruction count.
+	DynamicInstructions uint64
+	// OutputBytes is the widget output (snapshot stream) size.
+	OutputBytes int
+	// Digest is the final HashCore digest.
+	Digest Digest
+}
+
+// Inspect runs the pipeline for input and reports its intermediates.
+func (h *Hasher) Inspect(input []byte) (*Inspection, error) {
+	tr, err := h.f.Trace(input)
+	if err != nil {
+		return nil, err
+	}
+	return &Inspection{
+		Seed:                tr.Seed,
+		StaticInstructions:  tr.Widget.NumInstrs(),
+		DynamicInstructions: tr.Result.Retired,
+		OutputBytes:         len(tr.Result.Output),
+		Digest:              tr.Digest,
+	}, nil
+}
+
+// Profiles lists the built-in reference workload profiles.
+func Profiles() []string { return workload.Names() }
+
+// MineResult is a successful nonce search.
+type MineResult struct {
+	Nonce    uint64
+	Digest   Digest
+	Attempts uint64
+}
+
+// TargetWithZeroBits returns a difficulty target requiring roughly 2^bits
+// hash evaluations (bits leading zero bits in the digest).
+func TargetWithZeroBits(bits uint) [32]byte {
+	if bits > 255 {
+		bits = 255
+	}
+	v := new(big.Int).Rsh(new(big.Int).Lsh(big.NewInt(1), 256), bits)
+	v.Sub(v, big.NewInt(1))
+	t := pow.FromBig(v)
+	return [32]byte(t)
+}
+
+// powAdapter adapts Hasher to pow.Hasher.
+type powAdapter struct{ h *Hasher }
+
+func (a powAdapter) Hash(header []byte) ([32]byte, error) { return a.h.Hash(header) }
+func (a powAdapter) Name() string                         { return a.h.Name() }
+
+// Mine searches for a nonce such that Hash(prefix || nonce_le64) meets the
+// target, using the given number of worker goroutines. It returns early
+// with ctx.Err() on cancellation.
+func (h *Hasher) Mine(ctx context.Context, prefix []byte, target [32]byte, workers int) (MineResult, error) {
+	miner := pow.NewMiner(powAdapter{h}, workers)
+	res, err := miner.Mine(ctx, prefix, pow.Target(target), 0, 0)
+	if err != nil {
+		return MineResult{}, err
+	}
+	return MineResult{Nonce: res.Nonce, Digest: res.Digest, Attempts: res.Attempts}, nil
+}
+
+// VerifyNonce checks a previously mined nonce — the cheap path a
+// validating node runs.
+func (h *Hasher) VerifyNonce(prefix []byte, nonce uint64, target [32]byte) (bool, error) {
+	return pow.Verify(powAdapter{h}, prefix, nonce, pow.Target(target))
+}

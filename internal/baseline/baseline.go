@@ -1,0 +1,55 @@
+// Package baseline implements the comparison PoW functions from the
+// paper's related-work discussion (§II): plain double-SHA-256 (the
+// Bitcoin function an ASIC trivially dominates) and scrypt (the
+// memory-hard approach of Litecoin et al.). Both satisfy pow.Hasher so
+// the experiment harness can race them against HashCore.
+package baseline
+
+import (
+	"crypto/sha256"
+)
+
+// SHA256d is Bitcoin's PoW function: SHA-256 applied twice. The zero
+// value is ready to use.
+type SHA256d struct{}
+
+// Hash returns SHA-256(SHA-256(header)).
+func (SHA256d) Hash(header []byte) ([32]byte, error) {
+	first := sha256.Sum256(header)
+	return sha256.Sum256(first[:]), nil
+}
+
+// Name returns "sha256d".
+func (SHA256d) Name() string { return "sha256d" }
+
+// Scrypt is an scrypt-based PoW in the style of Litecoin: the digest is
+// scrypt(header, header) with the configured cost parameters. The zero
+// value is not usable; use NewScrypt.
+type Scrypt struct {
+	n, r, p int
+	name    string
+}
+
+// NewScrypt returns an scrypt PoW hasher. Typical PoW parameters are
+// N=1024, r=1, p=1 (Litecoin). It panics on invalid parameters — a
+// configuration error.
+func NewScrypt(n, r, p int) *Scrypt {
+	if n < 2 || n&(n-1) != 0 {
+		panic("baseline: scrypt N must be a power of two > 1")
+	}
+	if r < 1 || p < 1 {
+		panic("baseline: scrypt r and p must be >= 1")
+	}
+	return &Scrypt{n: n, r: r, p: p, name: "scrypt"}
+}
+
+// Hash returns the first 32 bytes of scrypt(header, header, N, r, p, 32).
+func (s *Scrypt) Hash(header []byte) ([32]byte, error) {
+	dk := Key(header, header, s.n, s.r, s.p, 32)
+	var out [32]byte
+	copy(out[:], dk)
+	return out, nil
+}
+
+// Name returns "scrypt".
+func (s *Scrypt) Name() string { return s.name }

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"strings"
+	"time"
+
+	"hashcore/internal/blockchain"
+	"hashcore/internal/pow"
+)
+
+// mineChain mines `blocks` blocks on a fresh chain with the given PoW
+// function at a very easy difficulty, returning a human-readable log.
+func mineChain(ctx context.Context, hasher pow.Hasher, blocks int) (string, error) {
+	// An extremely easy target (8 leading zero bits) keeps widget-backed
+	// mining demos fast: ~256 expected hashes per block.
+	easy := pow.FromBig(new(big.Int).Rsh(new(big.Int).Lsh(big.NewInt(1), 256), 8))
+	params := blockchain.DefaultParams()
+	params.GenesisBits = pow.TargetToCompact(easy)
+
+	chain, err := blockchain.NewChain(params, hasher)
+	if err != nil {
+		return "", err
+	}
+	miner := pow.NewMiner(hasher, 2)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "mining %d blocks with %s (target %#x)\n", blocks, hasher.Name(), params.GenesisBits)
+	parent := chain.GenesisID()
+	blockTime := params.GenesisTime
+	for i := 0; i < blocks; i++ {
+		blockTime += params.TargetSpacing
+		bits, err := chain.NextBits(parent)
+		if err != nil {
+			return "", err
+		}
+		txs := [][]byte{[]byte(fmt.Sprintf("coinbase %d", i))}
+		header := blockchain.Header{
+			Version:    1,
+			PrevHash:   parent,
+			MerkleRoot: blockchain.MerkleRoot(txs),
+			Time:       blockTime,
+			Bits:       bits,
+		}
+		target, err := pow.CompactToTarget(bits)
+		if err != nil {
+			return "", err
+		}
+		start := time.Now()
+		res, err := miner.Mine(ctx, header.MiningPrefix(), target, 0, 0)
+		if err != nil {
+			return "", err
+		}
+		header.Nonce = res.Nonce
+		id, err := chain.AddBlock(blockchain.Block{Header: header, Txs: txs})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  block %d: nonce=%d attempts=%d elapsed=%s digest=%x...\n",
+			i+1, res.Nonce, res.Attempts, time.Since(start).Round(time.Millisecond), id[:8])
+		parent = id
+	}
+	fmt.Fprintf(&b, "chain height %d, total work %v\n", chain.Height(), chain.TotalWork())
+	return b.String(), nil
+}

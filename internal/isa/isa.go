@@ -1,0 +1,343 @@
+// Package isa defines the synthetic instruction set that HashCore widgets
+// are expressed in.
+//
+// The paper generates widgets as C programs compiled to native x86. A
+// portable, stdlib-only reproduction cannot JIT pseudo-random x86, so this
+// package defines a register machine whose instruction classes are exactly
+// the computational-resource classes the paper's Table I allocates hash-seed
+// noise to — integer ALU, integer multiply, floating-point ALU, loads,
+// stores, and branches — plus a vector class covering the "vector
+// processing units" the paper lists among the targeted structures.
+//
+// The machine has:
+//   - 16 64-bit integer registers r0..r15
+//   - 16 64-bit floating-point registers f0..f15
+//   - 8 256-bit vector registers v0..v7 (4 x 64-bit lanes)
+//   - a byte-addressable scratch memory (power-of-two size, masked
+//     addressing, so every generated access is safe)
+//
+// Control flow is expressed at the basic-block level (see internal/prog):
+// branch instructions name a target block, and only the last instruction of
+// a block may be a control instruction.
+package isa
+
+import "fmt"
+
+// Register file sizes.
+const (
+	NumIntRegs = 16
+	NumFPRegs  = 16
+	NumVecRegs = 8
+	VecLanes   = 4
+)
+
+// Class is an instruction resource class. The first six classes correspond
+// one-to-one to the noise fields of the paper's Table I.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassIntALU Class = iota + 1
+	ClassIntMul
+	ClassFPALU
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassVector
+	numClasses
+)
+
+// Classes lists every class in a stable order (useful for iteration in
+// profiles and reports).
+var Classes = [...]Class{
+	ClassIntALU, ClassIntMul, ClassFPALU, ClassLoad, ClassStore, ClassBranch, ClassVector,
+}
+
+// String returns the lower-case class mnemonic.
+func (c Class) String() string {
+	switch c {
+	case ClassIntALU:
+		return "intalu"
+	case ClassIntMul:
+		return "intmul"
+	case ClassFPALU:
+		return "fpalu"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassVector:
+		return "vector"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Opcode identifies an operation. Opcodes are stable across versions: they
+// are serialized into widget binaries, so new opcodes must only ever be
+// appended.
+type Opcode uint8
+
+// Opcodes are declared with explicit values: they form the binary widget
+// encoding, so their numbering is part of the wire format and must never
+// shift when the set is extended.
+const (
+	OpInvalid Opcode = 0
+
+	// Integer ALU.
+	OpAdd Opcode = 1 // dst = a + b
+	OpSub Opcode = 2 // dst = a - b
+	OpAnd Opcode = 3 // dst = a & b
+	OpOr  Opcode = 4 // dst = a | b
+	OpXor Opcode = 5 // dst = a ^ b
+	OpShl Opcode = 6 // dst = a << (b & 63)
+	OpShr Opcode = 7 // dst = a >> (b & 63)
+	OpRor Opcode = 8 // dst = a rotated right by (b & 63)
+
+	OpCmpLT Opcode = 9  // dst = (a < b) ? 1 : 0  (unsigned)
+	OpCmpEQ Opcode = 10 // dst = (a == b) ? 1 : 0
+	OpMov   Opcode = 11 // dst = a
+	OpMovI  Opcode = 12 // dst = imm
+	OpAddI  Opcode = 13 // dst = a + imm
+
+	// Integer multiply unit.
+	OpMul  Opcode = 16 // dst = low64(a * b)
+	OpMulH Opcode = 17 // dst = high64(a * b) (unsigned)
+
+	// Floating-point ALU. FP registers hold IEEE-754 float64; NaNs are
+	// canonicalized after every operation for cross-platform determinism.
+	OpFAdd  Opcode = 24 // fdst = fa + fb
+	OpFSub  Opcode = 25 // fdst = fa - fb
+	OpFMul  Opcode = 26 // fdst = fa * fb
+	OpFDiv  Opcode = 27 // fdst = fa / fb
+	OpFSqrt Opcode = 28 // fdst = sqrt(|fa|)
+	OpFMov  Opcode = 29 // fdst = fa
+	OpFCvt  Opcode = 30 // fdst = float64(int64(ra))
+	OpFToI  Opcode = 31 // dst  = clamped int64(fa)
+
+	// Memory. Addresses are (ra + imm) masked to the scratch size and
+	// 8-byte aligned; values are little-endian uint64.
+	OpLoad   Opcode = 40 // dst  = mem[ra + imm]
+	OpFLoad  Opcode = 41 // fdst = mem[ra + imm] (as float64 bits, canonicalized)
+	OpStore  Opcode = 42 // mem[ra + imm] = rb
+	OpFStore Opcode = 43 // mem[ra + imm] = fb (bits)
+
+	// Control flow. Target is a block index carried beside the opcode.
+	OpBeq  Opcode = 48 // if ra == rb jump to target block
+	OpBne  Opcode = 49 // if ra != rb jump
+	OpBlt  Opcode = 50 // if ra <  rb (unsigned) jump
+	OpBge  Opcode = 51 // if ra >= rb (unsigned) jump
+	OpJmp  Opcode = 52 // unconditional jump
+	OpHalt Opcode = 53 // stop execution
+
+	// Vector unit: 4-lane 64-bit SIMD.
+	OpVAdd   Opcode = 56 // vdst = va + vb (lane-wise)
+	OpVXor   Opcode = 57 // vdst = va ^ vb
+	OpVMul   Opcode = 58 // vdst = low64(va * vb) lane-wise
+	OpVBcast Opcode = 59 // vdst = broadcast(ra)
+	OpVRed   Opcode = 60 // dst  = xor-fold of va's lanes
+)
+
+// opcodeInfo captures static properties of an opcode.
+type opcodeInfo struct {
+	name  string
+	class Class
+}
+
+// opcodes is the opcode metadata table; absent entries are invalid opcodes.
+var opcodes = map[Opcode]opcodeInfo{
+	OpAdd:   {"add", ClassIntALU},
+	OpSub:   {"sub", ClassIntALU},
+	OpAnd:   {"and", ClassIntALU},
+	OpOr:    {"or", ClassIntALU},
+	OpXor:   {"xor", ClassIntALU},
+	OpShl:   {"shl", ClassIntALU},
+	OpShr:   {"shr", ClassIntALU},
+	OpRor:   {"ror", ClassIntALU},
+	OpCmpLT: {"cmplt", ClassIntALU},
+	OpCmpEQ: {"cmpeq", ClassIntALU},
+	OpMov:   {"mov", ClassIntALU},
+	OpMovI:  {"movi", ClassIntALU},
+	OpAddI:  {"addi", ClassIntALU},
+
+	OpMul:  {"mul", ClassIntMul},
+	OpMulH: {"mulh", ClassIntMul},
+
+	OpFAdd:  {"fadd", ClassFPALU},
+	OpFSub:  {"fsub", ClassFPALU},
+	OpFMul:  {"fmul", ClassFPALU},
+	OpFDiv:  {"fdiv", ClassFPALU},
+	OpFSqrt: {"fsqrt", ClassFPALU},
+	OpFMov:  {"fmov", ClassFPALU},
+	OpFCvt:  {"fcvt", ClassFPALU},
+	OpFToI:  {"ftoi", ClassFPALU},
+
+	OpLoad:   {"load", ClassLoad},
+	OpFLoad:  {"fload", ClassLoad},
+	OpStore:  {"store", ClassStore},
+	OpFStore: {"fstore", ClassStore},
+
+	OpBeq:  {"beq", ClassBranch},
+	OpBne:  {"bne", ClassBranch},
+	OpBlt:  {"blt", ClassBranch},
+	OpBge:  {"bge", ClassBranch},
+	OpJmp:  {"jmp", ClassBranch},
+	OpHalt: {"halt", ClassBranch},
+
+	OpVAdd:   {"vadd", ClassVector},
+	OpVXor:   {"vxor", ClassVector},
+	OpVMul:   {"vmul", ClassVector},
+	OpVBcast: {"vbcast", ClassVector},
+	OpVRed:   {"vred", ClassVector},
+}
+
+// mnemonics maps assembly mnemonics back to opcodes (built once, immutable
+// afterwards; safe for concurrent reads).
+var mnemonics = func() map[string]Opcode {
+	m := make(map[string]Opcode, len(opcodes))
+	for op, info := range opcodes {
+		m[info.name] = op
+	}
+	return m
+}()
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool {
+	_, ok := opcodes[op]
+	return ok
+}
+
+// String returns the assembly mnemonic for op.
+func (op Opcode) String() string {
+	if info, ok := opcodes[op]; ok {
+		return info.name
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// ClassOf returns the resource class of op, or 0 for invalid opcodes.
+func (op Opcode) ClassOf() Class {
+	return opcodes[op].class
+}
+
+// FromMnemonic returns the opcode for an assembly mnemonic.
+func FromMnemonic(name string) (Opcode, bool) {
+	op, ok := mnemonics[name]
+	return op, ok
+}
+
+// IsControl reports whether op redirects or ends control flow (and so may
+// only appear as a block terminator).
+func (op Opcode) IsControl() bool {
+	switch op {
+	case OpBeq, OpBne, OpBlt, OpBge, OpJmp, OpHalt:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsCondBranch reports whether op is a conditional branch.
+func (op Opcode) IsCondBranch() bool {
+	switch op {
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return true
+	default:
+		return false
+	}
+}
+
+// HasImm reports whether op uses its immediate operand.
+func (op Opcode) HasImm() bool {
+	switch op {
+	case OpMovI, OpAddI, OpLoad, OpFLoad, OpStore, OpFStore:
+		return true
+	default:
+		return false
+	}
+}
+
+// RegFile identifies which register file an operand index refers to.
+type RegFile uint8
+
+// Register files.
+const (
+	RegNone RegFile = iota
+	RegInt
+	RegFP
+	RegVec
+)
+
+// Operands describes the register files of an opcode's dst, a and b
+// operands (RegNone when unused).
+func (op Opcode) Operands() (dst, a, b RegFile) {
+	switch op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpRor,
+		OpCmpLT, OpCmpEQ, OpMul, OpMulH:
+		return RegInt, RegInt, RegInt
+	case OpMov:
+		return RegInt, RegInt, RegNone
+	case OpMovI:
+		return RegInt, RegNone, RegNone
+	case OpAddI:
+		return RegInt, RegInt, RegNone
+	case OpFAdd, OpFSub, OpFMul, OpFDiv:
+		return RegFP, RegFP, RegFP
+	case OpFSqrt, OpFMov:
+		return RegFP, RegFP, RegNone
+	case OpFCvt:
+		return RegFP, RegInt, RegNone
+	case OpFToI:
+		return RegInt, RegFP, RegNone
+	case OpLoad:
+		return RegInt, RegInt, RegNone
+	case OpFLoad:
+		return RegFP, RegInt, RegNone
+	case OpStore:
+		return RegNone, RegInt, RegInt
+	case OpFStore:
+		return RegNone, RegInt, RegFP
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return RegNone, RegInt, RegInt
+	case OpJmp, OpHalt:
+		return RegNone, RegNone, RegNone
+	case OpVAdd, OpVXor, OpVMul:
+		return RegVec, RegVec, RegVec
+	case OpVBcast:
+		return RegVec, RegInt, RegNone
+	case OpVRed:
+		return RegInt, RegVec, RegNone
+	default:
+		return RegNone, RegNone, RegNone
+	}
+}
+
+// RegCount returns the number of registers in file f.
+func (f RegFile) RegCount() int {
+	switch f {
+	case RegInt:
+		return NumIntRegs
+	case RegFP:
+		return NumFPRegs
+	case RegVec:
+		return NumVecRegs
+	default:
+		return 0
+	}
+}
+
+// Prefix returns the assembly register prefix for file f ("r", "f", "v").
+func (f RegFile) Prefix() string {
+	switch f {
+	case RegInt:
+		return "r"
+	case RegFP:
+		return "f"
+	case RegVec:
+		return "v"
+	default:
+		return "?"
+	}
+}

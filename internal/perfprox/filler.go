@@ -1,0 +1,244 @@
+package perfprox
+
+import (
+	"hashcore/internal/isa"
+)
+
+// intALUOps are the opcodes (with weights) used for integer-ALU fillers.
+var intALUOps = []struct {
+	op     isa.Opcode
+	weight float64
+}{
+	{isa.OpAdd, 5}, {isa.OpSub, 3}, {isa.OpXor, 4}, {isa.OpAnd, 2},
+	{isa.OpOr, 2}, {isa.OpShl, 1.5}, {isa.OpShr, 1.5}, {isa.OpRor, 1.5},
+	{isa.OpCmpLT, 1}, {isa.OpCmpEQ, 1}, {isa.OpMov, 1}, {isa.OpAddI, 2},
+}
+
+// fpOps are the opcodes used for FP fillers. fcvt pulls integer values
+// into the FP domain; ftoi pushes results back, coupling the domains so
+// neither is dead code.
+var fpOps = []struct {
+	op     isa.Opcode
+	weight float64
+}{
+	{isa.OpFAdd, 5}, {isa.OpFSub, 4}, {isa.OpFMul, 4},
+	{isa.OpFDiv, 1}, {isa.OpFSqrt, 1}, {isa.OpFMov, 1},
+	{isa.OpFCvt, 2}, {isa.OpFToI, 1},
+}
+
+// vecOps are the opcodes used for vector fillers.
+var vecOps = []struct {
+	op     isa.Opcode
+	weight float64
+}{
+	{isa.OpVAdd, 3}, {isa.OpVXor, 3}, {isa.OpVMul, 3},
+	{isa.OpVBcast, 2}, {isa.OpVRed, 1},
+}
+
+// emitFiller emits one instruction of the requested class into the current
+// block, choosing opcode, registers and memory pattern from the
+// generation PRNGs.
+func (st *genState) emitFiller(class isa.Class) {
+	switch class {
+	case isa.ClassIntALU:
+		st.emitIntALU()
+	case isa.ClassIntMul:
+		st.emitIntMul()
+	case isa.ClassFPALU:
+		st.emitFP()
+	case isa.ClassLoad:
+		st.emitLoad()
+	case isa.ClassStore:
+		st.emitStore()
+	case isa.ClassVector:
+		st.emitVector()
+	}
+}
+
+func (st *genState) emitIntALU() {
+	weights := make([]float64, len(intALUOps))
+	for i := range intALUOps {
+		weights[i] = intALUOps[i].weight
+	}
+	op := intALUOps[st.bbv.Pick(weights)].op
+	dst := st.pickIntDst()
+	switch op {
+	case isa.OpMov:
+		st.b.Op2(op, dst, st.pickIntSrc())
+	case isa.OpAddI:
+		st.b.AddI(dst, st.pickIntSrc(), int64(st.bbv.Intn(4096))-2048)
+	default:
+		st.b.Op3(op, dst, st.pickIntSrc(), st.pickIntSrc())
+	}
+}
+
+func (st *genState) emitIntMul() {
+	op := isa.OpMul
+	if st.bbv.Intn(4) == 0 {
+		op = isa.OpMulH
+	}
+	st.b.Op3(op, st.pickIntDst(), st.pickIntSrc(), st.pickIntSrc())
+}
+
+func (st *genState) emitFP() {
+	weights := make([]float64, len(fpOps))
+	for i := range fpOps {
+		weights[i] = fpOps[i].weight
+	}
+	op := fpOps[st.bbv.Pick(weights)].op
+	switch op {
+	case isa.OpFCvt:
+		st.b.Op2(op, st.pickFPDst(), st.pickIntSrc())
+	case isa.OpFToI:
+		st.b.Op2(op, st.pickIntDst(), st.pickFPSrc())
+	case isa.OpFSqrt, isa.OpFMov:
+		st.b.Op2(op, st.pickFPDst(), st.pickFPSrc())
+	default:
+		st.b.Op3(op, st.pickFPDst(), st.pickFPSrc(), st.pickFPSrc())
+	}
+}
+
+// memPattern indexes the access-pattern weights for Pick.
+const (
+	patSeq = iota
+	patStride
+	patRand
+	patChase
+)
+
+func (st *genState) emitLoad() {
+	pattern := st.mem.Pick([]float64{
+		st.prof.MemSequential, st.prof.MemStrided, st.prof.MemRandom, st.prof.MemPointerChase,
+	})
+	fp := st.mem.Float64() < st.floadProb
+
+	var base uint8
+	var disp int64
+	switch pattern {
+	case patSeq:
+		base = regSeq
+		disp = int64(st.seqOff)
+		st.seqOff += 8
+	case patStride:
+		base = regStride
+		disp = int64(st.strideOff)
+		st.strideOff += 320 // a non-power-of-two stride that misses lines
+	case patRand:
+		// Alternate between the per-iteration entropy register and a
+		// pool register whose value evolves during the iteration.
+		if st.mem.Intn(2) == 0 {
+			base = regEntropy
+		} else {
+			base = st.pickIntSrc()
+		}
+		disp = int64(st.mem.Intn(1 << 16))
+	case patChase:
+		// Serial chain: the chase register is both address and result.
+		st.b.Load(regChase, regChase, 0)
+		return
+	}
+	if fp {
+		st.b.FLoad(st.pickFPDst(), base, disp)
+	} else {
+		st.b.Load(st.pickIntDst(), base, disp)
+	}
+}
+
+func (st *genState) emitStore() {
+	pattern := st.mem.Pick([]float64{
+		st.prof.MemSequential, st.prof.MemStrided,
+		st.prof.MemRandom + st.prof.MemPointerChase, // chase folds into random
+	})
+	fp := st.mem.Float64() < st.fstoreProb
+
+	var base uint8
+	var disp int64
+	switch pattern {
+	case patSeq:
+		base = regSeq
+		disp = int64(st.seqOff)
+		st.seqOff += 8
+	case patStride:
+		base = regStride
+		disp = int64(st.strideOff)
+		st.strideOff += 320
+	default:
+		if st.mem.Intn(2) == 0 {
+			base = regEntropy
+		} else {
+			base = st.pickIntSrc()
+		}
+		disp = int64(st.mem.Intn(1 << 16))
+	}
+	if fp {
+		st.b.FStore(base, st.pickFPSrc(), disp)
+	} else {
+		st.b.Store(base, st.pickIntSrc(), disp)
+	}
+}
+
+func (st *genState) emitVector() {
+	weights := make([]float64, len(vecOps))
+	for i := range vecOps {
+		weights[i] = vecOps[i].weight
+	}
+	op := vecOps[st.bbv.Pick(weights)].op
+	switch op {
+	case isa.OpVBcast:
+		st.b.Op2(op, st.pickVecDst(), st.pickIntSrc())
+	case isa.OpVRed:
+		st.b.Op2(op, st.pickIntDst(), st.pickVecSrc())
+	default:
+		st.b.Op3(op, st.pickVecDst(), st.pickVecSrc(), st.pickVecSrc())
+	}
+}
+
+// pickIntDst chooses a destination from the general integer pool and
+// records it as most-recently-written.
+func (st *genState) pickIntDst() uint8 {
+	dst := uint8(st.bbv.Intn(regPoolSize))
+	st.noteDst(st.lastIntDst, dst)
+	return dst
+}
+
+// pickIntSrc chooses a source register, biased toward recent destinations
+// so the mean dependency distance approximates the profile's DepDist.
+func (st *genState) pickIntSrc() uint8 {
+	return st.pickSrc(st.lastIntDst, regPoolSize)
+}
+
+func (st *genState) pickFPDst() uint8 {
+	dst := uint8(st.bbv.Intn(isa.NumFPRegs))
+	st.noteDst(st.lastFPDst, dst)
+	return dst
+}
+
+func (st *genState) pickFPSrc() uint8 {
+	return st.pickSrc(st.lastFPDst, isa.NumFPRegs)
+}
+
+func (st *genState) pickVecDst() uint8 {
+	dst := uint8(st.bbv.Intn(isa.NumVecRegs))
+	st.noteDst(st.lastVecDst, dst)
+	return dst
+}
+
+func (st *genState) pickVecSrc() uint8 {
+	return st.pickSrc(st.lastVecDst, isa.NumVecRegs)
+}
+
+// noteDst shifts dst into the front of a recency ring.
+func (st *genState) noteDst(ring []uint8, dst uint8) {
+	copy(ring[1:], ring)
+	ring[0] = dst
+}
+
+// pickSrc selects a source register: with probability 1/DepDist the most
+// recent destination (a tight dependency), otherwise uniform over the
+// pool.
+func (st *genState) pickSrc(ring []uint8, poolSize int) uint8 {
+	if st.prof.DepDist > 0 && st.bbv.Float64() < 1/st.prof.DepDist {
+		return ring[0]
+	}
+	return uint8(st.bbv.Intn(poolSize))
+}

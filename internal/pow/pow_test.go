@@ -1,0 +1,215 @@
+package pow
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"hashcore/internal/baseline"
+)
+
+func TestCheckOrdering(t *testing.T) {
+	var lo, hi Target
+	lo[31] = 1
+	hi[0] = 1
+	tests := []struct {
+		name   string
+		digest [32]byte
+		target Target
+		want   bool
+	}{
+		{"zero digest meets tiny target", [32]byte{}, lo, true},
+		{"equal meets", [32]byte(lo), lo, true},
+		{"above fails", [32]byte(hi), lo, false},
+		{"below passes", [32]byte(lo), hi, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Check(tt.digest, tt.target); got != tt.want {
+				t.Errorf("Check = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCheckMatchesBigIntQuick(t *testing.T) {
+	f := func(d, tg [32]byte) bool {
+		want := new(big.Int).SetBytes(d[:]).Cmp(new(big.Int).SetBytes(tg[:])) <= 0
+		return Check(d, Target(tg)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactRoundTrip(t *testing.T) {
+	targets := []Target{
+		MainPowLimit,
+		FromBig(big.NewInt(0x7fffff)),
+		FromBig(new(big.Int).Lsh(big.NewInt(0x123456), 80)),
+	}
+	for _, target := range targets {
+		bits := TargetToCompact(target)
+		back, err := CompactToTarget(bits)
+		if err != nil {
+			t.Fatalf("CompactToTarget(%#x): %v", bits, err)
+		}
+		if back != target {
+			t.Errorf("round trip %#x: got %x, want %x", bits, back, target)
+		}
+	}
+}
+
+func TestCompactToTargetKnownValues(t *testing.T) {
+	// Bitcoin's genesis difficulty: 0x1d00ffff -> 0x00000000ffff << 208.
+	target, err := CompactToTarget(0x1d00ffff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Lsh(big.NewInt(0xffff), 208)
+	if target.Big().Cmp(want) != 0 {
+		t.Errorf("0x1d00ffff -> %x, want %x", target.Big(), want)
+	}
+	if got := TargetToCompact(target); got != 0x1d00ffff {
+		t.Errorf("compact round trip = %#x", got)
+	}
+}
+
+func TestCompactRejections(t *testing.T) {
+	if _, err := CompactToTarget(0x1d800000); !errors.Is(err, ErrBadCompact) {
+		t.Error("sign bit accepted")
+	}
+	if _, err := CompactToTarget(0xff00ffff); !errors.Is(err, ErrBadCompact) {
+		t.Error("overflowing exponent accepted")
+	}
+}
+
+func TestCompactRoundTripQuick(t *testing.T) {
+	f := func(mantissa uint32, exp uint8) bool {
+		bits := uint32(exp%30)<<24 | (mantissa & 0x007fffff)
+		target, err := CompactToTarget(bits)
+		if err != nil {
+			return true // rejected encodings are fine
+		}
+		// Re-encoding then decoding must be a fixed point.
+		bits2 := TargetToCompact(target)
+		target2, err := CompactToTarget(bits2)
+		if err != nil {
+			return false
+		}
+		return target2 == target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWork(t *testing.T) {
+	var everything Target
+	for i := range everything {
+		everything[i] = 0xff
+	}
+	if got := everything.Work(); got.Cmp(big.NewInt(1)) != 0 {
+		t.Errorf("work of all-ones target = %v, want 1", got)
+	}
+	// Halving the target doubles the work (approximately, exactly for
+	// powers of two).
+	half := FromBig(new(big.Int).Rsh(everything.Big(), 1))
+	if got := half.Work(); got.Cmp(big.NewInt(2)) != 0 {
+		t.Errorf("work of half target = %v, want 2", got)
+	}
+}
+
+func TestFromBigClamps(t *testing.T) {
+	huge := new(big.Int).Lsh(big.NewInt(1), 300)
+	target := FromBig(huge)
+	for i := range target {
+		if target[i] != 0xff {
+			t.Fatal("oversized value did not clamp to max target")
+		}
+	}
+	if got := FromBig(big.NewInt(-5)); got != (Target{}) {
+		t.Error("negative value did not clamp to zero")
+	}
+}
+
+func TestMineAndVerify(t *testing.T) {
+	h := baseline.SHA256d{}
+	m := NewMiner(h, 2)
+	// 12 leading zero bits: ~4096 expected attempts.
+	target := FromBig(new(big.Int).Rsh(new(big.Int).Lsh(big.NewInt(1), 256), 12))
+	res, err := m.Mine(context.Background(), []byte("block"), target, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Check(res.Digest, target) {
+		t.Fatal("mined digest does not meet target")
+	}
+	ok, err := Verify(h, []byte("block"), res.Nonce, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Verify rejected a mined nonce")
+	}
+	ok, err = Verify(h, []byte("block"), res.Nonce+1, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Verify accepted a wrong nonce (astronomically unlikely)")
+	}
+	if res.Attempts == 0 {
+		t.Error("no attempts recorded")
+	}
+}
+
+func TestMineRespectsMaxAttempts(t *testing.T) {
+	m := NewMiner(baseline.SHA256d{}, 2)
+	var impossible Target // zero target: only the zero digest passes
+	_, err := m.Mine(context.Background(), []byte("x"), impossible, 0, 500)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestMineRespectsContext(t *testing.T) {
+	m := NewMiner(baseline.SHA256d{}, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var impossible Target
+	_, err := m.Mine(ctx, []byte("x"), impossible, 0, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMineSingleWorkerDeterministicNonce(t *testing.T) {
+	// With one worker and sequential nonces, the found nonce is the
+	// smallest valid one, so two runs agree exactly.
+	m := NewMiner(baseline.SHA256d{}, 1)
+	target := FromBig(new(big.Int).Rsh(new(big.Int).Lsh(big.NewInt(1), 256), 10))
+	a, err := m.Mine(context.Background(), []byte("det"), target, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Mine(context.Background(), []byte("det"), target, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Nonce != b.Nonce || a.Digest != b.Digest {
+		t.Fatal("single-worker mining is not deterministic")
+	}
+}
+
+func BenchmarkMineSHA256d12bits(b *testing.B) {
+	m := NewMiner(baseline.SHA256d{}, 2)
+	target := FromBig(new(big.Int).Rsh(new(big.Int).Lsh(big.NewInt(1), 256), 12))
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Mine(context.Background(), []byte{byte(i), byte(i >> 8)}, target, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package profile
+
+import (
+	"errors"
+	"testing"
+
+	"hashcore/internal/isa"
+	"hashcore/internal/prog"
+	"hashcore/internal/uarch"
+	"hashcore/internal/vm"
+)
+
+func validProfile() *Profile {
+	return &Profile{
+		Name: "test",
+		Mix: map[isa.Class]float64{
+			isa.ClassIntALU: 0.5,
+			isa.ClassIntMul: 0.05,
+			isa.ClassFPALU:  0.05,
+			isa.ClassLoad:   0.15,
+			isa.ClassStore:  0.05,
+			isa.ClassBranch: 0.15,
+			isa.ClassVector: 0.05,
+		},
+		BranchTaken:     0.6,
+		BranchDataDep:   0.3,
+		BranchBias:      0.5,
+		MemSequential:   0.25,
+		MemStrided:      0.25,
+		MemRandom:       0.25,
+		MemPointerChase: 0.25,
+		WorkingSet:      1 << 20,
+		BlockMean:       6,
+		BlockStd:        2,
+		DepDist:         3,
+		TargetDynamic:   100_000,
+	}
+}
+
+func TestValidateAcceptsGoodProfile(t *testing.T) {
+	if err := validProfile().Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Profile)
+		wantErr error
+	}{
+		{"mix does not sum to 1", func(p *Profile) { p.Mix[isa.ClassIntALU] = 0.9 }, ErrBadMix},
+		{"negative mix", func(p *Profile) {
+			p.Mix[isa.ClassIntALU] = -0.1
+			p.Mix[isa.ClassIntMul] = 0.65
+		}, ErrBadMix},
+		{"branch taken out of range", func(p *Profile) { p.BranchTaken = 1.5 }, ErrBadFraction},
+		{"mem fractions do not sum", func(p *Profile) { p.MemRandom = 0.5 }, ErrBadFraction},
+		{"working set not pow2", func(p *Profile) { p.WorkingSet = 3000000 }, ErrBadWorkingSet},
+		{"working set too small", func(p *Profile) { p.WorkingSet = 1024 }, ErrBadWorkingSet},
+		{"block mean tiny", func(p *Profile) { p.BlockMean = 1 }, ErrBadShape},
+		{"dep dist zero", func(p *Profile) { p.DepDist = 0 }, ErrBadShape},
+		{"target too small", func(p *Profile) { p.TargetDynamic = 10 }, ErrBadShape},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := validProfile()
+			tt.mutate(p)
+			if err := p.Validate(); !errors.Is(err, tt.wantErr) {
+				t.Errorf("Validate() = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	p := validProfile()
+	for c := range p.Mix {
+		p.Mix[c] *= 3 // break normalization uniformly
+	}
+	p.MemSequential, p.MemStrided, p.MemRandom, p.MemPointerChase = 2, 2, 2, 2
+	p.Normalize()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("normalized profile still invalid: %v", err)
+	}
+	if p.MemSequential != 0.25 {
+		t.Errorf("MemSequential = %v, want 0.25", p.MemSequential)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := validProfile()
+	q := p.Clone()
+	q.Mix[isa.ClassIntALU] = 0.99
+	if p.Mix[isa.ClassIntALU] == 0.99 {
+		t.Fatal("Clone shares the Mix map")
+	}
+}
+
+func TestMixDistance(t *testing.T) {
+	a := map[isa.Class]float64{isa.ClassIntALU: 1}
+	b := map[isa.Class]float64{isa.ClassBranch: 1}
+	if d := MixDistance(a, a); d != 0 {
+		t.Errorf("distance(a,a) = %v, want 0", d)
+	}
+	if d := MixDistance(a, b); d != 2 {
+		t.Errorf("distance(disjoint) = %v, want 2", d)
+	}
+}
+
+func testProgram(t *testing.T) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder(prog.MinMemSize, 1)
+	entry := b.NewBlock()
+	loop := b.NewBlock()
+	exit := b.NewBlock()
+	b.SetBlock(entry)
+	b.MovI(15, 100)
+	b.MovI(14, 0)
+	b.Jmp(loop)
+	b.SetBlock(loop)
+	b.Load(1, 15, 0)
+	b.Op3(isa.OpAdd, 2, 2, 1)
+	b.AddI(15, 15, -1)
+	b.Branch(isa.OpBne, 15, 14, loop)
+	b.SetBlock(exit)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestMeasureFunctional(t *testing.T) {
+	r, err := MeasureFunctional("t", testProgram(t), vm.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DynamicInstructions == 0 {
+		t.Fatal("no instructions measured")
+	}
+	if r.IPC != 0 {
+		t.Error("functional measurement should not report IPC")
+	}
+	if r.Mix[isa.ClassLoad] == 0 {
+		t.Error("load fraction missing from mix")
+	}
+	if r.BranchTaken <= 0.9 {
+		t.Errorf("loop branch taken rate = %v, want ~0.99", r.BranchTaken)
+	}
+	var sum float64
+	for _, class := range isa.Classes {
+		sum += r.Mix[class]
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("measured mix sums to %v, want 1", sum)
+	}
+}
+
+func TestMeasureWithTiming(t *testing.T) {
+	r, err := Measure("t", testProgram(t), uarch.IvyBridge(), vm.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC <= 0 {
+		t.Error("timing measurement missing IPC")
+	}
+	if r.Cycles <= 0 {
+		t.Error("timing measurement missing cycles")
+	}
+	if r.BranchAccuracy <= 0 {
+		t.Error("timing measurement missing branch accuracy")
+	}
+}
+
+func TestMeasureRejectsInvalidProgram(t *testing.T) {
+	bad := &prog.Program{MemSize: 7}
+	if _, err := MeasureFunctional("bad", bad, vm.Params{}); err == nil {
+		t.Error("MeasureFunctional accepted an invalid program")
+	}
+	if _, err := Measure("bad", bad, uarch.IvyBridge(), vm.Params{}); err == nil {
+		t.Error("Measure accepted an invalid program")
+	}
+}

@@ -1,0 +1,150 @@
+package prog
+
+import (
+	"fmt"
+
+	"hashcore/internal/isa"
+)
+
+// Builder incrementally constructs a Program block by block. It is used by
+// the widget generator and by the hand-written reference workloads.
+// Builders are not safe for concurrent use.
+//
+// Blocks are identified by the labels returned from NewBlock, so code can
+// reference a block before its instructions are emitted (needed for forward
+// branches and loop back-edges).
+type Builder struct {
+	program Program
+	current int // index of the block being appended to, -1 if none
+	err     error
+}
+
+// NewBuilder returns a Builder for a program with the given scratch-memory
+// declaration.
+func NewBuilder(memSize int, memSeed uint64) *Builder {
+	return &Builder{
+		program: Program{MemSize: memSize, MemSeed: memSeed},
+		current: -1,
+	}
+}
+
+// Label names a block created by NewBlock.
+type Label uint32
+
+// NewBlock creates a new empty block and returns its label. The block
+// becomes the current emission target.
+func (b *Builder) NewBlock() Label {
+	b.program.Blocks = append(b.program.Blocks, Block{})
+	b.current = len(b.program.Blocks) - 1
+	return Label(b.current)
+}
+
+// SetBlock switches emission back to a previously created block.
+func (b *Builder) SetBlock(l Label) {
+	if int(l) >= len(b.program.Blocks) {
+		b.fail(fmt.Errorf("prog: SetBlock(%d) out of range", l))
+		return
+	}
+	b.current = int(l)
+}
+
+// Emit appends a raw instruction to the current block.
+func (b *Builder) Emit(ins Instr) {
+	if b.err != nil {
+		return
+	}
+	if b.current < 0 {
+		b.fail(fmt.Errorf("prog: Emit before NewBlock"))
+		return
+	}
+	blk := &b.program.Blocks[b.current]
+	blk.Instrs = append(blk.Instrs, ins)
+}
+
+// Op3 emits a three-register-operand instruction.
+func (b *Builder) Op3(op isa.Opcode, dst, a, bb uint8) {
+	b.Emit(Instr{Op: op, Dst: dst, A: a, B: bb})
+}
+
+// Op2 emits a two-register-operand instruction (dst, a).
+func (b *Builder) Op2(op isa.Opcode, dst, a uint8) {
+	b.Emit(Instr{Op: op, Dst: dst, A: a})
+}
+
+// MovI emits dst = imm.
+func (b *Builder) MovI(dst uint8, imm int64) {
+	b.Emit(Instr{Op: isa.OpMovI, Dst: dst, Imm: imm})
+}
+
+// AddI emits dst = a + imm.
+func (b *Builder) AddI(dst, a uint8, imm int64) {
+	b.Emit(Instr{Op: isa.OpAddI, Dst: dst, A: a, Imm: imm})
+}
+
+// Load emits dst = mem[a + imm].
+func (b *Builder) Load(dst, a uint8, imm int64) {
+	b.Emit(Instr{Op: isa.OpLoad, Dst: dst, A: a, Imm: imm})
+}
+
+// FLoad emits fdst = mem[a + imm].
+func (b *Builder) FLoad(dst, a uint8, imm int64) {
+	b.Emit(Instr{Op: isa.OpFLoad, Dst: dst, A: a, Imm: imm})
+}
+
+// Store emits mem[a + imm] = rb.
+func (b *Builder) Store(a, src uint8, imm int64) {
+	b.Emit(Instr{Op: isa.OpStore, A: a, B: src, Imm: imm})
+}
+
+// FStore emits mem[a + imm] = fb.
+func (b *Builder) FStore(a, src uint8, imm int64) {
+	b.Emit(Instr{Op: isa.OpFStore, A: a, B: src, Imm: imm})
+}
+
+// Branch emits a conditional branch on (a, b) to the target label.
+func (b *Builder) Branch(op isa.Opcode, a, bb uint8, target Label) {
+	if !op.IsCondBranch() {
+		b.fail(fmt.Errorf("prog: Branch with non-branch opcode %s", op))
+		return
+	}
+	b.Emit(Instr{Op: op, A: a, B: bb, Target: uint32(target)})
+}
+
+// Jmp emits an unconditional jump to the target label.
+func (b *Builder) Jmp(target Label) {
+	b.Emit(Instr{Op: isa.OpJmp, Target: uint32(target)})
+}
+
+// Halt emits a halt instruction.
+func (b *Builder) Halt() {
+	b.Emit(Instr{Op: isa.OpHalt})
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build validates and returns the constructed program. After Build the
+// builder should not be reused.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	p := b.program
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// MustBuild is Build for programs constructed from trusted, static code
+// (the reference workloads); it panics on error.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

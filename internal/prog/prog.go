@@ -1,0 +1,178 @@
+// Package prog defines the widget program representation: straight-line
+// basic blocks of ISA instructions connected by block-indexed control flow,
+// plus a scratch-memory declaration. It provides structural validation
+// (used to guarantee generated widgets are well-formed before execution)
+// and a compact binary serialization (used for widget pools and the CLI).
+package prog
+
+import (
+	"errors"
+	"fmt"
+
+	"hashcore/internal/isa"
+)
+
+// Limits on program shape. These are deliberately generous relative to what
+// the generator produces, but bounded so adversarial inputs cannot make the
+// VM allocate unreasonable state.
+const (
+	MaxBlocks      = 1 << 20
+	MaxBlockInstrs = 1 << 16
+	MinMemSize     = 4 << 10   // 4 KiB
+	MaxMemSize     = 256 << 20 // 256 MiB
+	DefaultMemSize = 1 << 20   // 1 MiB
+	MaxTotalStatic = 1 << 22   // static instructions across all blocks
+)
+
+// Instr is a single instruction. Operand meaning depends on Op (see
+// isa.Opcode documentation): Dst/A/B index registers in the files given by
+// Op.Operands(), Imm is the immediate (displacement for memory ops), and
+// Target is the destination block index for control instructions.
+type Instr struct {
+	Op     isa.Opcode
+	Dst    uint8
+	A      uint8
+	B      uint8
+	Imm    int64
+	Target uint32
+}
+
+// Block is a basic block: zero or more non-control instructions optionally
+// terminated by one control instruction. A block without a control
+// terminator falls through to the next block.
+type Block struct {
+	Instrs []Instr
+}
+
+// Terminator returns the block's control instruction and true, or a zero
+// Instr and false if the block falls through.
+func (b *Block) Terminator() (Instr, bool) {
+	if len(b.Instrs) == 0 {
+		return Instr{}, false
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if last.Op.IsControl() {
+		return last, true
+	}
+	return Instr{}, false
+}
+
+// Program is a complete widget: blocks plus the scratch memory declaration.
+// Execution starts at block 0, instruction 0. MemSize must be a power of
+// two in [MinMemSize, MaxMemSize]; MemSeed deterministically initializes
+// the scratch memory contents.
+type Program struct {
+	Blocks  []Block
+	MemSize int
+	MemSeed uint64
+}
+
+// NumInstrs returns the total static instruction count.
+func (p *Program) NumInstrs() int {
+	n := 0
+	for i := range p.Blocks {
+		n += len(p.Blocks[i].Instrs)
+	}
+	return n
+}
+
+// StaticID returns the linear index of instruction idx in block b,
+// counting instructions across blocks in order. It is used as the static
+// "program counter" identity for branch predictors and instruction caches.
+// The result is only meaningful for validated programs.
+func (p *Program) StaticID(block, idx int) uint32 {
+	id := 0
+	for i := 0; i < block; i++ {
+		id += len(p.Blocks[i].Instrs)
+	}
+	return uint32(id + idx)
+}
+
+// Validation errors.
+var (
+	ErrNoBlocks         = errors.New("prog: program has no blocks")
+	ErrTooLarge         = errors.New("prog: program exceeds size limits")
+	ErrBadMemSize       = errors.New("prog: memory size must be a power of two within limits")
+	ErrMisplacedControl = errors.New("prog: control instruction not at end of block")
+	ErrBadTarget        = errors.New("prog: branch target out of range")
+	ErrBadOpcode        = errors.New("prog: invalid opcode")
+	ErrBadRegister      = errors.New("prog: register index out of range")
+	ErrNoHalt           = errors.New("prog: no reachable halt instruction")
+)
+
+// Validate checks the structural well-formedness of p: opcode validity,
+// register ranges, control placement, branch targets, memory declaration,
+// and the existence of a halt instruction. A validated program can be
+// executed by the VM without any per-instruction bound checks failing.
+func (p *Program) Validate() error {
+	if len(p.Blocks) == 0 {
+		return ErrNoBlocks
+	}
+	if len(p.Blocks) > MaxBlocks || p.NumInstrs() > MaxTotalStatic {
+		return ErrTooLarge
+	}
+	if !isPow2(p.MemSize) || p.MemSize < MinMemSize || p.MemSize > MaxMemSize {
+		return fmt.Errorf("%w: %d", ErrBadMemSize, p.MemSize)
+	}
+	haveHalt := false
+	for bi := range p.Blocks {
+		b := &p.Blocks[bi]
+		if len(b.Instrs) > MaxBlockInstrs {
+			return fmt.Errorf("%w: block %d has %d instructions", ErrTooLarge, bi, len(b.Instrs))
+		}
+		for ii, ins := range b.Instrs {
+			if !ins.Op.Valid() {
+				return fmt.Errorf("%w: block %d instr %d (op=%d)", ErrBadOpcode, bi, ii, ins.Op)
+			}
+			if ins.Op.IsControl() && ii != len(b.Instrs)-1 {
+				return fmt.Errorf("%w: block %d instr %d (%s)", ErrMisplacedControl, bi, ii, ins.Op)
+			}
+			if err := checkRegs(ins); err != nil {
+				return fmt.Errorf("%w: block %d instr %d (%s)", err, bi, ii, ins.Op)
+			}
+			if ins.Op.IsControl() && ins.Op != isa.OpHalt {
+				if int(ins.Target) >= len(p.Blocks) {
+					return fmt.Errorf("%w: block %d -> %d (have %d blocks)",
+						ErrBadTarget, bi, ins.Target, len(p.Blocks))
+				}
+			}
+			if ins.Op == isa.OpHalt {
+				haveHalt = true
+			}
+		}
+	}
+	// The last block must not fall through off the end of the program.
+	last := &p.Blocks[len(p.Blocks)-1]
+	if _, ok := last.Terminator(); !ok {
+		return fmt.Errorf("%w: last block falls through", ErrNoHalt)
+	}
+	if !haveHalt {
+		return ErrNoHalt
+	}
+	return nil
+}
+
+func checkRegs(ins Instr) error {
+	dst, a, b := ins.Op.Operands()
+	if int(ins.Dst) >= regLimit(dst) {
+		return ErrBadRegister
+	}
+	if int(ins.A) >= regLimit(a) {
+		return ErrBadRegister
+	}
+	if int(ins.B) >= regLimit(b) {
+		return ErrBadRegister
+	}
+	return nil
+}
+
+// regLimit returns the exclusive upper bound for an operand index. Unused
+// operands must be encoded as 0, so their limit is 1.
+func regLimit(f isa.RegFile) int {
+	if f == isa.RegNone {
+		return 1
+	}
+	return f.RegCount()
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }

@@ -1,0 +1,284 @@
+package prog
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"hashcore/internal/isa"
+	"hashcore/internal/rng"
+)
+
+// tinyValid returns a minimal valid program: one block computing a bit and
+// halting.
+func tinyValid() *Program {
+	b := NewBuilder(DefaultMemSize, 1)
+	b.NewBlock()
+	b.MovI(1, 42)
+	b.Op3(isa.OpAdd, 2, 1, 1)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestValidateAcceptsMinimal(t *testing.T) {
+	if err := tinyValid().Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Program)
+		wantErr error
+	}{
+		{"no blocks", func(p *Program) { p.Blocks = nil }, ErrNoBlocks},
+		{"bad memsize not pow2", func(p *Program) { p.MemSize = 3000 }, ErrBadMemSize},
+		{"bad memsize too small", func(p *Program) { p.MemSize = 1024 }, ErrBadMemSize},
+		{"bad memsize too large", func(p *Program) { p.MemSize = MaxMemSize * 2 }, ErrBadMemSize},
+		{
+			"control mid-block",
+			func(p *Program) {
+				p.Blocks[0].Instrs[0] = Instr{Op: isa.OpJmp, Target: 0}
+			},
+			ErrMisplacedControl,
+		},
+		{
+			"bad branch target",
+			func(p *Program) {
+				last := len(p.Blocks[0].Instrs) - 1
+				p.Blocks[0].Instrs[last] = Instr{Op: isa.OpJmp, Target: 99}
+			},
+			ErrBadTarget,
+		},
+		{
+			"invalid opcode",
+			func(p *Program) { p.Blocks[0].Instrs[0].Op = isa.Opcode(250) },
+			ErrBadOpcode,
+		},
+		{
+			"register out of range",
+			func(p *Program) { p.Blocks[0].Instrs[1].Dst = 16 },
+			ErrBadRegister,
+		},
+		{
+			"unused operand must be zero",
+			func(p *Program) { p.Blocks[0].Instrs[0].A = 3 }, // movi uses no A
+			ErrBadRegister,
+		},
+		{
+			"fallthrough off the end",
+			func(p *Program) {
+				p.Blocks[0].Instrs = p.Blocks[0].Instrs[:2] // drop halt
+			},
+			ErrNoHalt,
+		},
+		{
+			"vector register out of range",
+			func(p *Program) {
+				p.Blocks[0].Instrs[0] = Instr{Op: isa.OpVAdd, Dst: 8}
+			},
+			ErrBadRegister,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := tinyValid()
+			tt.mutate(p)
+			err := p.Validate()
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("Validate() = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("emit before block", func(t *testing.T) {
+		b := NewBuilder(DefaultMemSize, 0)
+		b.MovI(0, 1)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected error for Emit before NewBlock")
+		}
+	})
+	t.Run("branch with non-branch opcode", func(t *testing.T) {
+		b := NewBuilder(DefaultMemSize, 0)
+		l := b.NewBlock()
+		b.Branch(isa.OpAdd, 0, 0, l)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected error for Branch(OpAdd)")
+		}
+	})
+	t.Run("setblock out of range", func(t *testing.T) {
+		b := NewBuilder(DefaultMemSize, 0)
+		b.NewBlock()
+		b.SetBlock(5)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("expected error for SetBlock out of range")
+		}
+	})
+}
+
+func TestBuilderMultiBlockControlFlow(t *testing.T) {
+	b := NewBuilder(DefaultMemSize, 7)
+	entry := b.NewBlock()
+	body := b.NewBlock()
+	exit := b.NewBlock()
+
+	b.SetBlock(entry)
+	b.MovI(1, 10)
+	b.Jmp(body)
+
+	b.SetBlock(body)
+	b.AddI(1, 1, -1)
+	b.MovI(2, 0)
+	b.Branch(isa.OpBne, 1, 2, body)
+
+	b.SetBlock(exit)
+	b.Halt()
+
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(p.Blocks))
+	}
+	term, ok := p.Blocks[1].Terminator()
+	if !ok || term.Op != isa.OpBne || Label(term.Target) != body {
+		t.Fatalf("body terminator = %+v, ok=%v", term, ok)
+	}
+	if _, ok := p.Blocks[1].Terminator(); !ok {
+		t.Fatal("terminator not detected")
+	}
+}
+
+func TestTerminatorFallthrough(t *testing.T) {
+	b := Block{Instrs: []Instr{{Op: isa.OpAdd}}}
+	if _, ok := b.Terminator(); ok {
+		t.Error("fallthrough block reported a terminator")
+	}
+	empty := Block{}
+	if _, ok := empty.Terminator(); ok {
+		t.Error("empty block reported a terminator")
+	}
+}
+
+func TestStaticID(t *testing.T) {
+	b := NewBuilder(DefaultMemSize, 0)
+	b.NewBlock()
+	b.MovI(0, 1)
+	b.MovI(1, 2)
+	b.NewBlock()
+	b.MovI(2, 3)
+	b.Halt()
+	p := b.MustBuild()
+
+	if got := p.StaticID(0, 1); got != 1 {
+		t.Errorf("StaticID(0,1) = %d, want 1", got)
+	}
+	if got := p.StaticID(1, 0); got != 2 {
+		t.Errorf("StaticID(1,0) = %d, want 2", got)
+	}
+	if got := p.NumInstrs(); got != 4 {
+		t.Errorf("NumInstrs = %d, want 4", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := tinyValid()
+	data := p.Encode()
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MemSize != p.MemSize || got.MemSeed != p.MemSeed {
+		t.Errorf("memory decl mismatch: got %d/%d, want %d/%d",
+			got.MemSize, got.MemSeed, p.MemSize, p.MemSeed)
+	}
+	if len(got.Blocks) != len(p.Blocks) {
+		t.Fatalf("block count mismatch")
+	}
+	for i := range p.Blocks {
+		for j := range p.Blocks[i].Instrs {
+			if got.Blocks[i].Instrs[j] != p.Blocks[i].Instrs[j] {
+				t.Fatalf("instr %d/%d mismatch: %+v vs %+v",
+					i, j, got.Blocks[i].Instrs[j], p.Blocks[i].Instrs[j])
+			}
+		}
+	}
+}
+
+// TestEncodeDecodeRandomPrograms round-trips randomly built (but valid)
+// programs through the binary format.
+func TestEncodeDecodeRandomPrograms(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := rng.NewXoshiro256(seed)
+		b := NewBuilder(1<<uint(12+x.Intn(8)), x.Next())
+		nBlocks := 1 + x.Intn(5)
+		for i := 0; i < nBlocks; i++ {
+			b.NewBlock()
+			for j := x.Intn(10); j > 0; j-- {
+				b.Op3(isa.OpXor, uint8(x.Intn(16)), uint8(x.Intn(16)), uint8(x.Intn(16)))
+			}
+			if i == nBlocks-1 {
+				b.Halt()
+			} else {
+				b.Jmp(Label(x.Intn(nBlocks)))
+			}
+		}
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		q, err := Decode(p.Encode())
+		if err != nil {
+			return false
+		}
+		return q.NumInstrs() == p.NumInstrs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	valid := tinyValid().Encode()
+
+	tests := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(d []byte) []byte { d[0] = 'X'; return d }},
+		{"truncated", func(d []byte) []byte { return d[:len(d)-3] }},
+		{"trailing garbage", func(d []byte) []byte { return append(d, 0xff) }},
+		{"huge mem", func(d []byte) []byte { d[4] = 60; return d }},
+		{"empty", func(d []byte) []byte { return nil }},
+		{
+			"invalid opcode inside",
+			func(d []byte) []byte { d[24] = 255; return d },
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			data := tt.mutate(bytes.Clone(valid))
+			if _, err := Decode(data); err == nil {
+				t.Error("Decode accepted corrupted input")
+			}
+		})
+	}
+}
+
+func TestDecodeValidates(t *testing.T) {
+	// Build an encoding of a structurally broken program by hand: a
+	// branch to a nonexistent block.
+	b := NewBuilder(DefaultMemSize, 0)
+	b.NewBlock()
+	b.Halt()
+	p := b.MustBuild()
+	p.Blocks[0].Instrs[0] = Instr{Op: isa.OpJmp, Target: 7}
+	if _, err := Decode(p.Encode()); err == nil {
+		t.Fatal("Decode accepted a program with a dangling branch target")
+	}
+}

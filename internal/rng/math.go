@@ -1,0 +1,11 @@
+package rng
+
+import "math"
+
+// sqrt and ln wrap math.Sqrt / math.Log. They exist so that every
+// floating-point operation the generators perform flows through one audited
+// place; Go's math package guarantees identical results for these functions
+// across platforms for the argument ranges we use (finite, positive).
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+func ln(x float64) float64 { return math.Log(x) }

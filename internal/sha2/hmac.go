@@ -1,0 +1,67 @@
+package sha2
+
+// HMAC computes HMAC-SHA256(key, msg) per RFC 2104.
+func HMAC(key, msg []byte) [Size]byte {
+	var keyBlock [BlockSize]byte
+	if len(key) > BlockSize {
+		sum := Digest(key)
+		copy(keyBlock[:], sum[:])
+	} else {
+		copy(keyBlock[:], key)
+	}
+
+	var ipad, opad [BlockSize]byte
+	for i := range keyBlock {
+		ipad[i] = keyBlock[i] ^ 0x36
+		opad[i] = keyBlock[i] ^ 0x5c
+	}
+
+	inner := New()
+	inner.Write(ipad[:])
+	inner.Write(msg)
+	innerSum := inner.Sum256()
+
+	outer := New()
+	outer.Write(opad[:])
+	outer.Write(innerSum[:])
+	return outer.Sum256()
+}
+
+// HMACState is a reusable HMAC-SHA256 keyed state. It precomputes the
+// padded-key block hashes so repeated MACs under the same key (as in
+// PBKDF2 iterations) cost two compressions instead of four.
+type HMACState struct {
+	inner, outer Hash
+}
+
+// NewHMAC returns an HMACState keyed with key.
+func NewHMAC(key []byte) *HMACState {
+	var keyBlock [BlockSize]byte
+	if len(key) > BlockSize {
+		sum := Digest(key)
+		copy(keyBlock[:], sum[:])
+	} else {
+		copy(keyBlock[:], key)
+	}
+	var ipad, opad [BlockSize]byte
+	for i := range keyBlock {
+		ipad[i] = keyBlock[i] ^ 0x36
+		opad[i] = keyBlock[i] ^ 0x5c
+	}
+	var s HMACState
+	s.inner.Reset()
+	s.inner.Write(ipad[:])
+	s.outer.Reset()
+	s.outer.Write(opad[:])
+	return &s
+}
+
+// Sum returns HMAC(key, msg) for the precomputed key.
+func (s *HMACState) Sum(msg []byte) [Size]byte {
+	inner := s.inner // copy of the keyed inner state
+	inner.Write(msg)
+	innerSum := inner.Sum256()
+	outer := s.outer
+	outer.Write(innerSum[:])
+	return outer.Sum256()
+}

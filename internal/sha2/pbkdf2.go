@@ -1,0 +1,35 @@
+package sha2
+
+import "encoding/binary"
+
+// PBKDF2 derives a key of dkLen bytes from password and salt using c
+// iterations of HMAC-SHA256, per RFC 2898 / RFC 8018.
+// It panics if c < 1 or dkLen < 1; both are programmer errors.
+func PBKDF2(password, salt []byte, c, dkLen int) []byte {
+	if c < 1 {
+		panic("sha2: PBKDF2 iteration count must be >= 1")
+	}
+	if dkLen < 1 {
+		panic("sha2: PBKDF2 derived key length must be >= 1")
+	}
+
+	mac := NewHMAC(password)
+	numBlocks := (dkLen + Size - 1) / Size
+	dk := make([]byte, 0, numBlocks*Size)
+
+	buf := make([]byte, len(salt)+4)
+	copy(buf, salt)
+	for block := 1; block <= numBlocks; block++ {
+		binary.BigEndian.PutUint32(buf[len(salt):], uint32(block))
+		u := mac.Sum(buf)
+		t := u
+		for i := 1; i < c; i++ {
+			u = mac.Sum(u[:])
+			for j := range t {
+				t[j] ^= u[j]
+			}
+		}
+		dk = append(dk, t[:]...)
+	}
+	return dk[:dkLen]
+}

@@ -1,0 +1,271 @@
+package sha2
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func TestDigestFIPSVectors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"empty", "", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+		{"abc", "abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+		{
+			"two-block",
+			"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+			"248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Digest([]byte(tt.in))
+			if hex.EncodeToString(got[:]) != tt.want {
+				t.Errorf("Digest(%q) = %x, want %s", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDigestMillionA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping 1M-byte vector in -short mode")
+	}
+	h := New()
+	chunk := bytes.Repeat([]byte{'a'}, 1000)
+	for i := 0; i < 1000; i++ {
+		h.Write(chunk)
+	}
+	got := h.Sum256()
+	const want = "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+	if hex.EncodeToString(got[:]) != want {
+		t.Errorf("Digest(1M x 'a') = %x, want %s", got, want)
+	}
+}
+
+// TestDigestMatchesStdlib is the primary cross-check: our implementation
+// must agree with crypto/sha256 on arbitrary inputs, including all lengths
+// around block boundaries.
+func TestDigestMatchesStdlib(t *testing.T) {
+	for n := 0; n <= 3*BlockSize; n++ {
+		in := make([]byte, n)
+		for i := range in {
+			in[i] = byte(i * 7)
+		}
+		got := Digest(in)
+		want := sha256.Sum256(in)
+		if got != want {
+			t.Fatalf("length %d: Digest = %x, stdlib = %x", n, got, want)
+		}
+	}
+}
+
+func TestDigestMatchesStdlibQuick(t *testing.T) {
+	f := func(in []byte) bool {
+		got := Digest(in)
+		return got == sha256.Sum256(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteChunking verifies that splitting the input across Write calls in
+// every possible way yields the same digest as a single Write.
+func TestWriteChunking(t *testing.T) {
+	msg := make([]byte, 2*BlockSize+17)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	want := Digest(msg)
+	for split := 0; split <= len(msg); split++ {
+		h := New()
+		h.Write(msg[:split])
+		h.Write(msg[split:])
+		if got := h.Sum256(); got != want {
+			t.Fatalf("split at %d: digest mismatch", split)
+		}
+	}
+}
+
+func TestSumIsNonDestructive(t *testing.T) {
+	h := New()
+	h.Write([]byte("partial "))
+	first := h.Sum256()
+	second := h.Sum256()
+	if first != second {
+		t.Fatal("two Sum256 calls without intervening writes disagree")
+	}
+	h.Write([]byte("message"))
+	full := h.Sum256()
+	want := Digest([]byte("partial message"))
+	if full != want {
+		t.Fatalf("digest after continued writes = %x, want %x", full, want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New()
+	h.Write([]byte("garbage"))
+	h.Reset()
+	h.Write([]byte("abc"))
+	got := h.Sum256()
+	want := Digest([]byte("abc"))
+	if got != want {
+		t.Fatalf("digest after Reset = %x, want %x", got, want)
+	}
+}
+
+func TestSumAppends(t *testing.T) {
+	h := New()
+	h.Write([]byte("abc"))
+	prefix := []byte{1, 2, 3}
+	out := h.Sum(prefix)
+	if !bytes.Equal(out[:3], prefix) {
+		t.Fatal("Sum did not preserve prefix")
+	}
+	want := Digest([]byte("abc"))
+	if !bytes.Equal(out[3:], want[:]) {
+		t.Fatal("Sum appended wrong digest")
+	}
+}
+
+func TestHashInterfaceSizes(t *testing.T) {
+	h := New()
+	if h.Size() != 32 {
+		t.Errorf("Size() = %d, want 32", h.Size())
+	}
+	if h.BlockSize() != 64 {
+		t.Errorf("BlockSize() = %d, want 64", h.BlockSize())
+	}
+}
+
+// RFC 4231 HMAC-SHA256 test vectors (cases 1, 2 and 6).
+func TestHMACRFC4231(t *testing.T) {
+	tests := []struct {
+		name      string
+		key, data []byte
+		want      string
+	}{
+		{
+			"case1",
+			bytes.Repeat([]byte{0x0b}, 20),
+			[]byte("Hi There"),
+			"b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+		},
+		{
+			"case2",
+			[]byte("Jefe"),
+			[]byte("what do ya want for nothing?"),
+			"5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+		},
+		{
+			"case6-long-key",
+			bytes.Repeat([]byte{0xaa}, 131),
+			[]byte("Test Using Larger Than Block-Size Key - Hash Key First"),
+			"60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := HMAC(tt.key, tt.data)
+			if hex.EncodeToString(got[:]) != tt.want {
+				t.Errorf("HMAC = %x, want %s", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestHMACMatchesStdlibQuick(t *testing.T) {
+	f := func(key, msg []byte) bool {
+		got := HMAC(key, msg)
+		m := hmac.New(sha256.New, key)
+		m.Write(msg)
+		return bytes.Equal(got[:], m.Sum(nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHMACStateMatchesOneShot(t *testing.T) {
+	key := []byte("a key longer than nothing")
+	state := NewHMAC(key)
+	for i := 0; i < 20; i++ {
+		msg := bytes.Repeat([]byte{byte(i)}, i*13)
+		if got, want := state.Sum(msg), HMAC(key, msg); got != want {
+			t.Fatalf("iteration %d: HMACState.Sum != HMAC", i)
+		}
+	}
+}
+
+// RFC 7914 section 11 PBKDF2-HMAC-SHA256 test vectors.
+func TestPBKDF2RFC7914(t *testing.T) {
+	tests := []struct {
+		name           string
+		password, salt string
+		c, dkLen       int
+		want           string
+	}{
+		{
+			"passwd-c1", "passwd", "salt", 1, 64,
+			"55ac046e56e3089fec1691c22544b605f94185216dde0465e68b9d57c20dacbc" +
+				"49ca9cccf179b645991664b39d77ef317c71b845b1e30bd509112041d3a19783",
+		},
+		{
+			"password-c80000", "Password", "NaCl", 80000, 64,
+			"4ddcd8f60b98be21830cee5ef22701f9641a4418d04c0414aeff08876b34ab56" +
+				"a1d425a1225833549adb841b51c9b3176a272bdebba1d078478f62b397f33c8d",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.c > 1000 && testing.Short() {
+				t.Skip("skipping high-iteration vector in -short mode")
+			}
+			got := PBKDF2([]byte(tt.password), []byte(tt.salt), tt.c, tt.dkLen)
+			if hex.EncodeToString(got) != tt.want {
+				t.Errorf("PBKDF2 = %x, want %s", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPBKDF2Lengths(t *testing.T) {
+	for _, dkLen := range []int{1, 31, 32, 33, 64, 100} {
+		dk := PBKDF2([]byte("p"), []byte("s"), 2, dkLen)
+		if len(dk) != dkLen {
+			t.Errorf("dkLen %d: got %d bytes", dkLen, len(dk))
+		}
+	}
+}
+
+func TestPBKDF2PanicsOnBadArgs(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero-iterations": func() { PBKDF2([]byte("p"), []byte("s"), 0, 32) },
+		"zero-length":     func() { PBKDF2([]byte("p"), []byte("s"), 1, 0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func BenchmarkDigest1K(b *testing.B) {
+	buf := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Digest(buf)
+	}
+}

@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hashcore/internal/rng"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 {
+		t.Errorf("N = %d, want 5", s.N)
+	}
+	if s.Mean != 3 {
+		t.Errorf("Mean = %v, want 3", s.Mean)
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Errorf("Min/Max = %v/%v, want 1/5", s.Min, s.Max)
+	}
+	if s.Median != 3 {
+		t.Errorf("Median = %v, want 3", s.Median)
+	}
+	wantSD := math.Sqrt(2.5) // sample variance of 1..5 is 2.5
+	if math.Abs(s.StdDev-wantSD) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev, wantSD)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("Summarize(nil) = %+v, want zero value", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("Summarize mutated its input: %v", in)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 10, 20, 30, 40}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 0}, {1, 40}, {0.5, 20}, {0.25, 10}, {0.125, 5},
+	}
+	for _, tt := range tests {
+		if got := Quantile(sorted, tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestQuantileOrderedQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := rng.NewXoshiro256(seed)
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = x.Float64()
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P05 && s.P05 <= s.Median && s.Median <= s.P95 && s.P95 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 0.1, 0.9, 1.5, -3}, 2, 0, 1)
+	// -3 clamps into bin 0; 1.5 clamps into bin 1.
+	if h.Counts[0] != 3 {
+		t.Errorf("bin 0 count = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[1] != 2 {
+		t.Errorf("bin 1 count = %d, want 2", h.Counts[1])
+	}
+	if h.Total != 5 {
+		t.Errorf("Total = %d, want 5", h.Total)
+	}
+}
+
+func TestHistogramCountsPreservedQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := rng.NewXoshiro256(seed)
+		xs := make([]float64, 200)
+		for i := range xs {
+			xs[i] = x.Float64()*4 - 2
+		}
+		h := NewHistogram(xs, 7, -1, 1)
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == len(xs) && h.Total == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(nil, 4, 0, 8)
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+	if got := h.BinCenter(3); got != 7 {
+		t.Errorf("BinCenter(3) = %v, want 7", got)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram([]float64{0.25, 0.25, 0.75}, 2, 0, 1)
+	out := h.Render(10, 0.75)
+	if !strings.Contains(out, "#") {
+		t.Error("render has no bars")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("render did not mark the reference bin")
+	}
+	// NaN reference renders without a marker line.
+	out = h.Render(10, math.NaN())
+	if strings.Contains(out, "reference value") {
+		t.Error("NaN reference should suppress the marker legend")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	tests := []struct {
+		z, want float64
+	}{
+		{0, 0.5},
+		{1.96, 0.975},
+		{-1.96, 0.025},
+	}
+	for _, tt := range tests {
+		if got := NormalCDF(tt.z); math.Abs(got-tt.want) > 1e-3 {
+			t.Errorf("NormalCDF(%v) = %v, want %v", tt.z, got, tt.want)
+		}
+	}
+}
+
+// TestKSNormalOnGaussian: KS distance of an actual Gaussian sample should
+// be small; of a bimodal sample, large.
+func TestKSNormalDiscriminates(t *testing.T) {
+	x := rng.NewXoshiro256(42)
+	gaussian := make([]float64, 2000)
+	for i := range gaussian {
+		gaussian[i] = x.NormFloat64()
+	}
+	bimodal := make([]float64, 2000)
+	for i := range bimodal {
+		if i%2 == 0 {
+			bimodal[i] = -5 + 0.1*x.NormFloat64()
+		} else {
+			bimodal[i] = 5 + 0.1*x.NormFloat64()
+		}
+	}
+	ksG := KSNormal(gaussian)
+	ksB := KSNormal(bimodal)
+	if ksG > 0.05 {
+		t.Errorf("KS distance of Gaussian sample = %v, want < 0.05", ksG)
+	}
+	if ksB < 0.2 {
+		t.Errorf("KS distance of bimodal sample = %v, want > 0.2", ksB)
+	}
+}
+
+func TestKSTwoSample(t *testing.T) {
+	x := rng.NewXoshiro256(7)
+	a := make([]float64, 1000)
+	b := make([]float64, 1000)
+	c := make([]float64, 1000)
+	for i := range a {
+		a[i] = x.NormFloat64()
+		b[i] = x.NormFloat64()
+		c[i] = x.NormFloat64() + 3
+	}
+	if d := KSTwoSample(a, b); d > 0.08 {
+		t.Errorf("KS of same-distribution samples = %v, want small", d)
+	}
+	if d := KSTwoSample(a, c); d < 0.5 {
+		t.Errorf("KS of shifted samples = %v, want large", d)
+	}
+	if d := KSTwoSample(nil, a); d != 0 {
+		t.Errorf("KS with empty sample = %v, want 0", d)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("metric", "paper", "measured")
+	tb.AddRow("ipc", "1.20", "1.18")
+	tb.AddRow("branches")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "metric") {
+		t.Errorf("header line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "1.18") {
+		t.Errorf("row line = %q", lines[2])
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero-bins":   func() { NewHistogram(nil, 0, 0, 1) },
+		"empty-range": func() { NewHistogram(nil, 3, 1, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}

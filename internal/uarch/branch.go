@@ -1,0 +1,231 @@
+package uarch
+
+// Predictor is a conditional-branch direction predictor. Predict must be
+// called before Update for each dynamic branch; pc is the static
+// instruction identity.
+type Predictor interface {
+	Predict(pc uint32) bool
+	Update(pc uint32, taken bool)
+	Name() string
+}
+
+// twoBit is a saturating 2-bit counter: 0,1 predict not-taken; 2,3 taken.
+type twoBit uint8
+
+func (c twoBit) taken() bool { return c >= 2 }
+
+func (c twoBit) update(taken bool) twoBit {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Bimodal is a classic per-PC table of 2-bit saturating counters.
+type Bimodal struct {
+	table []twoBit
+	mask  uint32
+}
+
+// NewBimodal creates a bimodal predictor with 2^bits entries.
+func NewBimodal(bits uint) *Bimodal {
+	size := uint32(1) << bits
+	t := make([]twoBit, size)
+	for i := range t {
+		t[i] = 2 // weakly taken, the conventional initial state
+	}
+	return &Bimodal{table: t, mask: size - 1}
+}
+
+var _ Predictor = (*Bimodal)(nil)
+
+// Predict returns the predicted direction for pc.
+func (b *Bimodal) Predict(pc uint32) bool { return b.table[pc&b.mask].taken() }
+
+// Update trains the counter for pc with the actual outcome.
+func (b *Bimodal) Update(pc uint32, taken bool) {
+	idx := pc & b.mask
+	b.table[idx] = b.table[idx].update(taken)
+}
+
+// Name returns "bimodal".
+func (b *Bimodal) Name() string { return "bimodal" }
+
+// Gshare XORs a global history register with the PC to index a table of
+// 2-bit counters, capturing correlations between branches.
+type Gshare struct {
+	table   []twoBit
+	mask    uint32
+	history uint32
+	bits    uint
+}
+
+// NewGshare creates a gshare predictor with 2^bits counters and a
+// bits-wide global history register.
+func NewGshare(bits uint) *Gshare {
+	size := uint32(1) << bits
+	t := make([]twoBit, size)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Gshare{table: t, mask: size - 1, bits: bits}
+}
+
+var _ Predictor = (*Gshare)(nil)
+
+func (g *Gshare) index(pc uint32) uint32 { return (pc ^ g.history) & g.mask }
+
+// Predict returns the predicted direction for pc under the current global
+// history.
+func (g *Gshare) Predict(pc uint32) bool { return g.table[g.index(pc)].taken() }
+
+// Update trains the indexed counter and shifts the outcome into the global
+// history register.
+func (g *Gshare) Update(pc uint32, taken bool) {
+	idx := g.index(pc)
+	g.table[idx] = g.table[idx].update(taken)
+	g.history <<= 1
+	if taken {
+		g.history |= 1
+	}
+	g.history &= g.mask
+}
+
+// Name returns "gshare".
+func (g *Gshare) Name() string { return "gshare" }
+
+// Local is a two-level predictor with per-PC local history feeding a
+// shared pattern table, capturing short repeating per-branch patterns.
+type Local struct {
+	histories []uint32
+	pattern   []twoBit
+	histMask  uint32
+	patMask   uint32
+}
+
+// NewLocal creates a local predictor with 2^histBits history entries of
+// patBits bits each, and a 2^patBits pattern table.
+func NewLocal(histBits, patBits uint) *Local {
+	pat := make([]twoBit, 1<<patBits)
+	for i := range pat {
+		pat[i] = 2
+	}
+	return &Local{
+		histories: make([]uint32, 1<<histBits),
+		pattern:   pat,
+		histMask:  (1 << histBits) - 1,
+		patMask:   (1 << patBits) - 1,
+	}
+}
+
+var _ Predictor = (*Local)(nil)
+
+// Predict returns the predicted direction for pc from its local history
+// pattern.
+func (l *Local) Predict(pc uint32) bool {
+	h := l.histories[pc&l.histMask] & l.patMask
+	return l.pattern[h].taken()
+}
+
+// Update trains the pattern entry for pc's current history and shifts the
+// outcome into that history.
+func (l *Local) Update(pc uint32, taken bool) {
+	hIdx := pc & l.histMask
+	h := l.histories[hIdx] & l.patMask
+	l.pattern[h] = l.pattern[h].update(taken)
+	l.histories[hIdx] <<= 1
+	if taken {
+		l.histories[hIdx] |= 1
+	}
+}
+
+// Name returns "local".
+func (l *Local) Name() string { return "local" }
+
+// Tournament combines a global (gshare) and a local predictor with a
+// per-PC chooser, in the style of the Alpha 21264; modern Intel cores use
+// considerably more elaborate versions of the same idea.
+type Tournament struct {
+	global  *Gshare
+	local   *Local
+	chooser []twoBit // >=2 selects global
+	mask    uint32
+}
+
+// NewTournament creates a tournament predictor with 2^bits chooser
+// entries over NewGshare(bits) and NewLocal(bits-2, bits-2).
+func NewTournament(bits uint) *Tournament {
+	localBits := bits - 2
+	ch := make([]twoBit, 1<<bits)
+	for i := range ch {
+		ch[i] = 2
+	}
+	return &Tournament{
+		global:  NewGshare(bits),
+		local:   NewLocal(localBits, localBits),
+		chooser: ch,
+		mask:    (1 << bits) - 1,
+	}
+}
+
+var _ Predictor = (*Tournament)(nil)
+
+// Predict consults the chooser to select between the global and local
+// component predictions.
+func (t *Tournament) Predict(pc uint32) bool {
+	if t.chooser[pc&t.mask].taken() {
+		return t.global.Predict(pc)
+	}
+	return t.local.Predict(pc)
+}
+
+// Update trains both components and moves the chooser toward whichever
+// component was correct (when they disagree).
+func (t *Tournament) Update(pc uint32, taken bool) {
+	gPred := t.global.Predict(pc)
+	lPred := t.local.Predict(pc)
+	if gPred != lPred {
+		idx := pc & t.mask
+		t.chooser[idx] = t.chooser[idx].update(gPred == taken)
+	}
+	t.global.Update(pc, taken)
+	t.local.Update(pc, taken)
+}
+
+// Name returns "tournament".
+func (t *Tournament) Name() string { return "tournament" }
+
+// PredictorKind selects a predictor implementation in a Config.
+type PredictorKind string
+
+// Supported predictor kinds.
+const (
+	PredBimodal    PredictorKind = "bimodal"
+	PredGshare     PredictorKind = "gshare"
+	PredLocal      PredictorKind = "local"
+	PredTournament PredictorKind = "tournament"
+)
+
+// NewPredictor constructs the predictor named by kind with a default size
+// (14 index bits, 16k entries). Unknown kinds fall back to gshare.
+func NewPredictor(kind PredictorKind) Predictor {
+	const bits = 14
+	switch kind {
+	case PredBimodal:
+		return NewBimodal(bits)
+	case PredLocal:
+		return NewLocal(bits-2, bits-2)
+	case PredTournament:
+		return NewTournament(bits)
+	case PredGshare:
+		return NewGshare(bits)
+	default:
+		return NewGshare(bits)
+	}
+}

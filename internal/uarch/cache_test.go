@@ -1,0 +1,136 @@
+package uarch
+
+import "testing"
+
+func testCacheConfig() CacheConfig {
+	return CacheConfig{Size: 1 << 10, Assoc: 2, LineSize: 64, Latency: 4}
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := NewCache(testCacheConfig())
+	if c.Access(0x100) {
+		t.Error("first access should miss")
+	}
+	if !c.Access(0x100) {
+		t.Error("second access to same address should hit")
+	}
+	if !c.Access(0x13f) {
+		t.Error("access within the same 64B line should hit")
+	}
+	if c.Access(0x140) {
+		t.Error("access to the next line should miss")
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 2 {
+		t.Errorf("stats = %d hits / %d misses, want 2/2", hits, misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 1 KiB, 2-way, 64B lines -> 8 sets. Addresses mapping to set 0 are
+	// multiples of 8*64 = 512.
+	c := NewCache(testCacheConfig())
+	c.Access(0)       // miss, fills way 0
+	c.Access(512)     // miss, fills way 1
+	c.Access(0)       // hit, refreshes line 0
+	c.Access(2 * 512) // miss, evicts 512 (LRU)
+	if !c.Access(0) {
+		t.Error("line 0 should still be resident")
+	}
+	if c.Access(512) {
+		t.Error("line 512 should have been evicted")
+	}
+}
+
+func TestCacheSetIsolation(t *testing.T) {
+	c := NewCache(testCacheConfig())
+	// Fill every set once; none of these should evict each other.
+	for set := 0; set < 8; set++ {
+		c.Access(uint64(set * 64))
+	}
+	for set := 0; set < 8; set++ {
+		if !c.Access(uint64(set * 64)) {
+			t.Errorf("set %d lost its line", set)
+		}
+	}
+}
+
+func TestCacheHitRateAndReset(t *testing.T) {
+	c := NewCache(testCacheConfig())
+	if got := c.HitRate(); got != 0 {
+		t.Errorf("empty cache hit rate = %v, want 0", got)
+	}
+	c.Access(0)
+	c.Access(0)
+	c.Access(0)
+	if got := c.HitRate(); got < 0.66 || got > 0.67 {
+		t.Errorf("hit rate = %v, want 2/3", got)
+	}
+	c.Reset()
+	hits, misses := c.Stats()
+	if hits != 0 || misses != 0 {
+		t.Error("reset did not clear stats")
+	}
+	if c.Access(0) {
+		t.Error("reset did not clear contents")
+	}
+}
+
+func TestCacheGeometryPanics(t *testing.T) {
+	for name, cfg := range map[string]CacheConfig{
+		"zero":         {},
+		"non-pow2-set": {Size: 3 * 64, Assoc: 1, LineSize: 64},
+		"bad-line":     {Size: 1 << 10, Assoc: 2, LineSize: 48},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			NewCache(cfg)
+		})
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(100,
+		CacheConfig{Size: 1 << 10, Assoc: 2, LineSize: 64, Latency: 4},
+		CacheConfig{Size: 1 << 14, Assoc: 4, LineSize: 64, Latency: 12},
+	)
+	if got := h.Access(0); got != 100 {
+		t.Errorf("cold access latency = %v, want 100 (memory)", got)
+	}
+	if got := h.Access(0); got != 4 {
+		t.Errorf("warm access latency = %v, want 4 (L1)", got)
+	}
+	if h.MemAccesses() != 1 {
+		t.Errorf("MemAccesses = %d, want 1", h.MemAccesses())
+	}
+
+	// Evict from L1 by filling its set; the L2 copy should still hit.
+	h.Access(512)
+	h.Access(1024)
+	h.Access(1536) // L1 set 0 now holds victims; line 0 evicted from L1
+	if got := h.Access(0); got != 12 {
+		t.Errorf("L1-evicted access latency = %v, want 12 (L2)", got)
+	}
+
+	if h.NumLevels() != 2 {
+		t.Errorf("NumLevels = %d, want 2", h.NumLevels())
+	}
+	h.Reset()
+	if got := h.Access(0); got != 100 {
+		t.Errorf("post-reset access latency = %v, want 100", got)
+	}
+}
+
+func TestCacheConfigNumSets(t *testing.T) {
+	cfg := CacheConfig{Size: 32 << 10, Assoc: 8, LineSize: 64}
+	if got := cfg.NumSets(); got != 64 {
+		t.Errorf("NumSets = %d, want 64", got)
+	}
+	if got := (CacheConfig{}).NumSets(); got != 0 {
+		t.Errorf("zero config NumSets = %d, want 0", got)
+	}
+}

@@ -1,0 +1,503 @@
+// Package vm executes widget programs deterministically.
+//
+// The VM is the functional half of the reproduction's execution substrate
+// (the timing half is internal/uarch). It interprets a validated
+// prog.Program and produces the widget output the paper describes: "a
+// series of snapshots of the computer's register contents captured every
+// few thousand instructions". Every architectural register is included in
+// each snapshot, so every executed instruction influences the output — the
+// paper's irreducibility requirement ("if even a single bit is incorrect in
+// the proxy output then the resulting hash will be invalid").
+//
+// Determinism contract: given the same program and parameters, Run produces
+// bit-identical output on every platform and Go release. This is what makes
+// the enclosing PoW verifiable. The contract is maintained by:
+//   - fixed-width two's-complement integer semantics;
+//   - one IEEE-754 binary operation per statement (no FMA contraction);
+//   - canonicalized NaNs after every FP operation;
+//   - masked, aligned scratch-memory addressing;
+//   - a hard dynamic-instruction budget so execution always terminates.
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hashcore/internal/isa"
+	"hashcore/internal/prog"
+	"hashcore/internal/rng"
+)
+
+// Default execution parameters.
+const (
+	DefaultSnapshotInterval = 2048
+	DefaultMaxInstructions  = 8 << 20 // 8M retired instructions
+)
+
+// SnapshotSize is the encoded size of one register snapshot in bytes:
+// 16 integer registers + 16 FP registers + 8 xor-folded vector registers +
+// the retired-instruction counter, 8 bytes each.
+const SnapshotSize = (isa.NumIntRegs + isa.NumFPRegs + isa.NumVecRegs + 1) * 8
+
+// canonicalNaN is the single NaN bit pattern the VM allows to be observed,
+// making FP results platform-independent.
+const canonicalNaN = 0x7ff8000000000000
+
+// Params configures an execution.
+type Params struct {
+	// SnapshotInterval is the number of retired instructions between
+	// register snapshots. 0 means DefaultSnapshotInterval.
+	SnapshotInterval uint64
+	// MaxInstructions is the hard budget of retired instructions; if
+	// reached, execution stops and the result is marked truncated.
+	// 0 means DefaultMaxInstructions.
+	MaxInstructions uint64
+}
+
+func (p Params) withDefaults() Params {
+	if p.SnapshotInterval == 0 {
+		p.SnapshotInterval = DefaultSnapshotInterval
+	}
+	if p.MaxInstructions == 0 {
+		p.MaxInstructions = DefaultMaxInstructions
+	}
+	return p
+}
+
+// Event describes one retired instruction, delivered to an Observer. The
+// pointer passed to OnRetire is reused between calls; observers must not
+// retain it.
+type Event struct {
+	// StaticID is the flat index of the instruction in the program,
+	// used as the static PC identity for predictors and caches.
+	StaticID uint32
+	Op       isa.Opcode
+	Class    isa.Class
+	Dst      uint8
+	A        uint8
+	B        uint8
+	// Addr is the effective byte address for loads and stores.
+	Addr uint64
+	// IsMem reports whether Addr is meaningful.
+	IsMem bool
+	// Taken reports the outcome of branch instructions (conditional
+	// branches and jumps).
+	Taken bool
+}
+
+// Observer receives retired-instruction events (e.g. the uarch timing
+// model or the profiler).
+type Observer interface {
+	OnRetire(ev *Event)
+}
+
+// Result is the outcome of an execution.
+type Result struct {
+	// Output is the widget output: the concatenated register snapshots.
+	Output []byte
+	// Retired is the number of retired instructions.
+	Retired uint64
+	// Truncated reports whether the instruction budget stopped execution
+	// before a halt instruction.
+	Truncated bool
+	// Snapshots is the number of snapshots taken.
+	Snapshots int
+	// ClassCounts counts retired instructions per resource class.
+	ClassCounts [8]uint64
+	// CondBranches and TakenBranches count conditional branches retired
+	// and those taken.
+	CondBranches  uint64
+	TakenBranches uint64
+}
+
+// flatInstr is a pre-decoded instruction with block targets resolved to
+// flat code indices.
+type flatInstr struct {
+	op         isa.Opcode
+	class      isa.Class
+	dst, a, b  uint8
+	imm        int64
+	target     uint32 // flat code index for control instructions
+	origTarget uint32 // original block index (for events/debug)
+}
+
+// Machine is a reusable executor for a single program. Construct with New,
+// then call Run; a Machine may be Run multiple times (state is reset) but
+// is not safe for concurrent use.
+type Machine struct {
+	code    []flatInstr
+	memSize int
+	memSeed uint64
+	mem     []byte
+
+	intRegs [isa.NumIntRegs]uint64
+	fpRegs  [isa.NumFPRegs]uint64 // IEEE-754 bits
+	vecRegs [isa.NumVecRegs][isa.VecLanes]uint64
+}
+
+// New pre-decodes and validates p for execution.
+func New(p *prog.Program) (*Machine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("vm: %w", err)
+	}
+	m := &Machine{memSize: p.MemSize, memSeed: p.MemSeed}
+
+	blockStart := make([]uint32, len(p.Blocks))
+	total := 0
+	for i := range p.Blocks {
+		blockStart[i] = uint32(total)
+		total += len(p.Blocks[i].Instrs)
+	}
+	m.code = make([]flatInstr, 0, total)
+	for bi := range p.Blocks {
+		for _, ins := range p.Blocks[bi].Instrs {
+			fi := flatInstr{
+				op:         ins.Op,
+				class:      ins.Op.ClassOf(),
+				dst:        ins.Dst,
+				a:          ins.A,
+				b:          ins.B,
+				imm:        ins.Imm,
+				origTarget: ins.Target,
+			}
+			if ins.Op.IsControl() && ins.Op != isa.OpHalt {
+				fi.target = blockStart[ins.Target]
+			}
+			m.code = append(m.code, fi)
+		}
+	}
+	return m, nil
+}
+
+// reset restores the architectural state for a fresh run: registers are
+// zeroed (FP registers hold +0.0) and memory is regenerated from the
+// program's memory seed.
+func (m *Machine) reset() {
+	m.intRegs = [isa.NumIntRegs]uint64{}
+	m.fpRegs = [isa.NumFPRegs]uint64{}
+	m.vecRegs = [isa.NumVecRegs][isa.VecLanes]uint64{}
+	if m.mem == nil {
+		m.mem = make([]byte, m.memSize)
+	}
+	sm := rng.NewSplitMix64(m.memSeed)
+	for off := 0; off < len(m.mem); off += 8 {
+		binary.LittleEndian.PutUint64(m.mem[off:], sm.Next())
+	}
+}
+
+// Run executes the program to completion (halt or budget) and returns the
+// result. obs may be nil.
+func (m *Machine) Run(params Params, obs Observer) *Result {
+	params = params.withDefaults()
+	m.reset()
+
+	res := &Result{}
+	estSnaps := int(params.MaxInstructions/params.SnapshotInterval) + 2
+	if estSnaps > 4096 {
+		estSnaps = 4096
+	}
+	res.Output = make([]byte, 0, estSnaps*SnapshotSize)
+
+	mask := uint64(m.memSize - 1)
+	var pc uint32
+	var retired uint64
+	untilSnap := params.SnapshotInterval
+	var ev Event
+	truncated := false
+
+	for {
+		if retired >= params.MaxInstructions {
+			truncated = true
+			break
+		}
+		ins := &m.code[pc]
+		nextPC := pc + 1
+		var taken bool
+		var addr uint64
+		var isMem bool
+
+		switch ins.op {
+		case isa.OpAdd:
+			m.intRegs[ins.dst] = m.intRegs[ins.a] + m.intRegs[ins.b]
+		case isa.OpSub:
+			m.intRegs[ins.dst] = m.intRegs[ins.a] - m.intRegs[ins.b]
+		case isa.OpAnd:
+			m.intRegs[ins.dst] = m.intRegs[ins.a] & m.intRegs[ins.b]
+		case isa.OpOr:
+			m.intRegs[ins.dst] = m.intRegs[ins.a] | m.intRegs[ins.b]
+		case isa.OpXor:
+			m.intRegs[ins.dst] = m.intRegs[ins.a] ^ m.intRegs[ins.b]
+		case isa.OpShl:
+			m.intRegs[ins.dst] = m.intRegs[ins.a] << (m.intRegs[ins.b] & 63)
+		case isa.OpShr:
+			m.intRegs[ins.dst] = m.intRegs[ins.a] >> (m.intRegs[ins.b] & 63)
+		case isa.OpRor:
+			k := m.intRegs[ins.b] & 63
+			v := m.intRegs[ins.a]
+			m.intRegs[ins.dst] = (v >> k) | (v << ((64 - k) & 63))
+		case isa.OpCmpLT:
+			if m.intRegs[ins.a] < m.intRegs[ins.b] {
+				m.intRegs[ins.dst] = 1
+			} else {
+				m.intRegs[ins.dst] = 0
+			}
+		case isa.OpCmpEQ:
+			if m.intRegs[ins.a] == m.intRegs[ins.b] {
+				m.intRegs[ins.dst] = 1
+			} else {
+				m.intRegs[ins.dst] = 0
+			}
+		case isa.OpMov:
+			m.intRegs[ins.dst] = m.intRegs[ins.a]
+		case isa.OpMovI:
+			m.intRegs[ins.dst] = uint64(ins.imm)
+		case isa.OpAddI:
+			m.intRegs[ins.dst] = m.intRegs[ins.a] + uint64(ins.imm)
+
+		case isa.OpMul:
+			m.intRegs[ins.dst] = m.intRegs[ins.a] * m.intRegs[ins.b]
+		case isa.OpMulH:
+			hi, _ := mul64(m.intRegs[ins.a], m.intRegs[ins.b])
+			m.intRegs[ins.dst] = hi
+
+		case isa.OpFAdd:
+			fa := math.Float64frombits(m.fpRegs[ins.a])
+			fb := math.Float64frombits(m.fpRegs[ins.b])
+			r := fa + fb
+			m.fpRegs[ins.dst] = canonBits(r)
+		case isa.OpFSub:
+			fa := math.Float64frombits(m.fpRegs[ins.a])
+			fb := math.Float64frombits(m.fpRegs[ins.b])
+			r := fa - fb
+			m.fpRegs[ins.dst] = canonBits(r)
+		case isa.OpFMul:
+			fa := math.Float64frombits(m.fpRegs[ins.a])
+			fb := math.Float64frombits(m.fpRegs[ins.b])
+			r := fa * fb
+			m.fpRegs[ins.dst] = canonBits(r)
+		case isa.OpFDiv:
+			fa := math.Float64frombits(m.fpRegs[ins.a])
+			fb := math.Float64frombits(m.fpRegs[ins.b])
+			r := fa / fb
+			m.fpRegs[ins.dst] = canonBits(r)
+		case isa.OpFSqrt:
+			fa := math.Float64frombits(m.fpRegs[ins.a])
+			r := math.Sqrt(math.Abs(fa))
+			m.fpRegs[ins.dst] = canonBits(r)
+		case isa.OpFMov:
+			m.fpRegs[ins.dst] = m.fpRegs[ins.a]
+		case isa.OpFCvt:
+			m.fpRegs[ins.dst] = canonBits(float64(int64(m.intRegs[ins.a])))
+		case isa.OpFToI:
+			m.intRegs[ins.dst] = clampToInt64(math.Float64frombits(m.fpRegs[ins.a]))
+
+		case isa.OpLoad:
+			addr = (m.intRegs[ins.a] + uint64(ins.imm)) & mask &^ 7
+			isMem = true
+			m.intRegs[ins.dst] = binary.LittleEndian.Uint64(m.mem[addr:])
+		case isa.OpFLoad:
+			addr = (m.intRegs[ins.a] + uint64(ins.imm)) & mask &^ 7
+			isMem = true
+			m.fpRegs[ins.dst] = canonFPBits(binary.LittleEndian.Uint64(m.mem[addr:]))
+		case isa.OpStore:
+			addr = (m.intRegs[ins.a] + uint64(ins.imm)) & mask &^ 7
+			isMem = true
+			binary.LittleEndian.PutUint64(m.mem[addr:], m.intRegs[ins.b])
+		case isa.OpFStore:
+			addr = (m.intRegs[ins.a] + uint64(ins.imm)) & mask &^ 7
+			isMem = true
+			binary.LittleEndian.PutUint64(m.mem[addr:], m.fpRegs[ins.b])
+
+		case isa.OpBeq:
+			taken = m.intRegs[ins.a] == m.intRegs[ins.b]
+			res.CondBranches++
+			if taken {
+				res.TakenBranches++
+			}
+		case isa.OpBne:
+			taken = m.intRegs[ins.a] != m.intRegs[ins.b]
+			res.CondBranches++
+			if taken {
+				res.TakenBranches++
+			}
+		case isa.OpBlt:
+			taken = m.intRegs[ins.a] < m.intRegs[ins.b]
+			res.CondBranches++
+			if taken {
+				res.TakenBranches++
+			}
+		case isa.OpBge:
+			taken = m.intRegs[ins.a] >= m.intRegs[ins.b]
+			res.CondBranches++
+			if taken {
+				res.TakenBranches++
+			}
+		case isa.OpJmp:
+			taken = true
+		case isa.OpHalt:
+			// Retire the halt, then stop.
+			retired++
+			res.ClassCounts[ins.class]++
+			if obs != nil {
+				ev = Event{StaticID: pc, Op: ins.op, Class: ins.class}
+				obs.OnRetire(&ev)
+			}
+			goto done
+
+		case isa.OpVAdd:
+			va, vb := &m.vecRegs[ins.a], &m.vecRegs[ins.b]
+			vd := &m.vecRegs[ins.dst]
+			for l := 0; l < isa.VecLanes; l++ {
+				vd[l] = va[l] + vb[l]
+			}
+		case isa.OpVXor:
+			va, vb := &m.vecRegs[ins.a], &m.vecRegs[ins.b]
+			vd := &m.vecRegs[ins.dst]
+			for l := 0; l < isa.VecLanes; l++ {
+				vd[l] = va[l] ^ vb[l]
+			}
+		case isa.OpVMul:
+			va, vb := &m.vecRegs[ins.a], &m.vecRegs[ins.b]
+			vd := &m.vecRegs[ins.dst]
+			for l := 0; l < isa.VecLanes; l++ {
+				vd[l] = va[l] * vb[l]
+			}
+		case isa.OpVBcast:
+			v := m.intRegs[ins.a]
+			vd := &m.vecRegs[ins.dst]
+			for l := 0; l < isa.VecLanes; l++ {
+				vd[l] = v + uint64(l)
+			}
+		case isa.OpVRed:
+			va := &m.vecRegs[ins.a]
+			m.intRegs[ins.dst] = va[0] ^ va[1] ^ va[2] ^ va[3]
+		}
+
+		if taken {
+			nextPC = ins.target
+		}
+
+		retired++
+		res.ClassCounts[ins.class]++
+		if obs != nil {
+			ev = Event{
+				StaticID: pc,
+				Op:       ins.op,
+				Class:    ins.class,
+				Dst:      ins.dst,
+				A:        ins.a,
+				B:        ins.b,
+				Addr:     addr,
+				IsMem:    isMem,
+				Taken:    taken,
+			}
+			obs.OnRetire(&ev)
+		}
+
+		untilSnap--
+		if untilSnap == 0 {
+			res.Output = m.appendSnapshot(res.Output, retired)
+			res.Snapshots++
+			untilSnap = params.SnapshotInterval
+		}
+		pc = nextPC
+	}
+
+done:
+	// Final snapshot captures the terminal state (always emitted, so even
+	// an empty program contributes output).
+	res.Output = m.appendSnapshot(res.Output, retired)
+	res.Snapshots++
+	res.Retired = retired
+	res.Truncated = truncated
+	return res
+}
+
+// appendSnapshot serializes the architectural register state.
+func (m *Machine) appendSnapshot(out []byte, retired uint64) []byte {
+	var buf [SnapshotSize]byte
+	off := 0
+	for _, r := range m.intRegs {
+		binary.LittleEndian.PutUint64(buf[off:], r)
+		off += 8
+	}
+	for _, r := range m.fpRegs {
+		binary.LittleEndian.PutUint64(buf[off:], r)
+		off += 8
+	}
+	for i := range m.vecRegs {
+		v := &m.vecRegs[i]
+		binary.LittleEndian.PutUint64(buf[off:], v[0]^v[1]^v[2]^v[3])
+		off += 8
+	}
+	binary.LittleEndian.PutUint64(buf[off:], retired)
+	return append(out, buf[:]...)
+}
+
+// Run is a convenience wrapper: validate, build a machine, execute.
+func Run(p *prog.Program, params Params, obs Observer) (*Result, error) {
+	m, err := New(p)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(params, obs), nil
+}
+
+// canonBits converts an FP result to register bits, canonicalizing NaN so
+// that only one NaN bit pattern is ever architecturally visible.
+func canonBits(f float64) uint64 {
+	if f != f {
+		return canonicalNaN
+	}
+	return math.Float64bits(f)
+}
+
+// canonFPBits canonicalizes raw bits loaded from memory into an FP
+// register (memory contents are arbitrary and may encode any NaN).
+func canonFPBits(bits uint64) uint64 {
+	f := math.Float64frombits(bits)
+	if f != f {
+		return canonicalNaN
+	}
+	return bits
+}
+
+// clampToInt64 converts a float64 to int64 (as uint64 bits) with
+// fully-defined saturation semantics: NaN -> 0, overflow clamps.
+// Go's float-to-int conversion is implementation-defined out of range, so
+// the VM defines it explicitly.
+func clampToInt64(f float64) uint64 {
+	switch {
+	case f != f:
+		return 0
+	case f >= math.MaxInt64:
+		return uint64(math.MaxInt64)
+	case f <= math.MinInt64:
+		return 1 << 63
+	default:
+		return uint64(int64(f))
+	}
+}
+
+// mul64 returns the full 128-bit product of a and b.
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+
+	t := aLo * bLo
+	lo = t & mask
+	carry := t >> 32
+
+	t = aHi*bLo + carry
+	mid := t & mask
+	carry = t >> 32
+
+	t = aLo*bHi + mid
+	lo |= (t & mask) << 32
+	carry2 := t >> 32
+
+	hi = aHi*bHi + carry + carry2
+	return hi, lo
+}
