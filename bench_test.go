@@ -68,6 +68,98 @@ func BenchmarkFigure1_Pipeline(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "hashes/s")
 }
 
+// BenchmarkHash measures the pooled steady-state hashing path — the
+// headline hashes/sec number. Allocations are reported; in steady state
+// they must be zero (TestHashZeroAllocSteadyState asserts it).
+func BenchmarkHash(b *testing.B) {
+	h, err := New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := make([]byte, 80)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		input[0], input[1] = byte(i), byte(i>>8)
+		if _, err := h.Hash(input); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "hashes/s")
+}
+
+// BenchmarkHashSession measures a dedicated session (the miner-worker
+// path): pooled overhead removed, everything reused.
+func BenchmarkHashSession(b *testing.B) {
+	h, err := New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := h.NewSession()
+	input := make([]byte, 80)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		input[0], input[1] = byte(i), byte(i>>8)
+		if _, err := s.Hash(input); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "hashes/s")
+}
+
+// TestHashZeroAllocSteadyState locks in the zero-allocation pipeline:
+// once a session's buffers have reached their high-water capacities,
+// hashing must not allocate — through a dedicated session and through
+// the pooled public Hash path alike.
+func TestHashZeroAllocSteadyState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement skipped in -short mode")
+	}
+	h, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("steady-state allocation probe")
+
+	s := h.NewSession()
+	for i := 0; i < 3; i++ { // reach high-water buffer capacities
+		if _, err := s.Hash(input); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(5, func() {
+		if _, err := s.Hash(input); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Session.Hash allocated %.1f objects/op in steady state, want 0", allocs)
+	}
+
+	// The pooled path is also allocation-free, but a GC anywhere in the
+	// measurement clears the sync.Pool and forces a fresh session, so
+	// tolerate one eviction: re-warm and retry before declaring failure.
+	pooled := func() float64 {
+		for i := 0; i < 3; i++ { // warm the pool's session
+			if _, err := h.Hash(input); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(5, func() {
+			if _, err := h.Hash(input); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	allocs := pooled()
+	if allocs != 0 {
+		allocs = pooled()
+	}
+	if allocs != 0 {
+		t.Errorf("pooled Hash allocated %.1f objects/op in steady state, want 0", allocs)
+	}
+}
+
 // BenchmarkFigure2_IPC reproduces Figure 2 at reduced N: the IPC
 // distribution of Leela-profile widgets vs. the reference workload on the
 // Ivy-Bridge-like simulator.

@@ -6,7 +6,13 @@
 //
 //	hcbench -run all            # everything (minutes)
 //	hcbench -run fig2 -n 1000   # just Figure 2 at the paper's N
-//	hcbench -run table1|fig1|fig2|fig3|sizes|noise|genvssel|randomx|baselines|mine
+//	hcbench -run vm             # hash-pipeline microbenchmark -> BENCH_vm.json
+//	hcbench -run table1|fig1|fig2|fig3|sizes|noise|genvssel|randomx|baselines|mine|vm
+//
+// The vm experiment measures the production hashing path (pooled
+// sessions, unobserved interpreter loop) and writes a machine-readable
+// BENCH_vm.json — hashes/sec, ns/hash, allocs/hash, B/hash — so the
+// performance trajectory is tracked across PRs.
 package main
 
 import (
@@ -22,19 +28,21 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (all, table1, fig1, fig2, fig3, sizes, noise, genvssel, predictors, randomx, baselines, mine)")
+	run := flag.String("run", "all", "experiment to run (all, table1, fig1, fig2, fig3, sizes, noise, genvssel, predictors, randomx, baselines, mine, vm)")
 	n := flag.Int("n", 1000, "widget population size for fig2/fig3/sizes/noise")
 	profileName := flag.String("profile", "leela", "reference workload profile")
 	seed := flag.Uint64("seed", 2019, "master seed for widget seeds")
+	benchN := flag.Int("benchn", 200, "hash evaluations for the vm benchmark")
+	benchOut := flag.String("benchout", "BENCH_vm.json", "output path for the vm benchmark JSON")
 	flag.Parse()
 
-	if err := dispatch(*run, *n, *profileName, *seed); err != nil {
+	if err := dispatch(*run, *n, *profileName, *seed, *benchN, *benchOut); err != nil {
 		fmt.Fprintln(os.Stderr, "hcbench:", err)
 		os.Exit(1)
 	}
 }
 
-func dispatch(run string, n int, profileName string, seed uint64) error {
+func dispatch(run string, n int, profileName string, seed uint64, benchN int, benchOut string) error {
 	wants := map[string]bool{}
 	for _, name := range strings.Split(run, ",") {
 		wants[strings.TrimSpace(name)] = true
@@ -127,6 +135,12 @@ func dispatch(run string, n int, profileName string, seed uint64) error {
 			return err
 		}
 		fmt.Println(out)
+	}
+	if all || wants["vm"] {
+		fmt.Println("== Hash pipeline microbenchmark ==")
+		if err := runVMBench(profileName, benchN, benchOut); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,3 @@
+module hashcore
+
+go 1.24

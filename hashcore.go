@@ -185,8 +185,29 @@ func New(opts ...Option) (*Hasher, error) {
 	return &Hasher{f: f}, nil
 }
 
-// Hash computes the HashCore digest of input.
+// Hash computes the HashCore digest of input. Calls are serviced from an
+// internal pool of execution contexts, so repeated hashing allocates
+// nothing in the steady state.
 func (h *Hasher) Hash(input []byte) (Digest, error) { return h.f.Hash(input) }
+
+// Session is a single-goroutine hashing context: it owns the widget
+// generator scratch, the VM and all buffers, reusing them across Hash
+// calls. Digests are identical to Hasher.Hash; the difference is purely
+// that a Session skips the internal pool round-trip, which matters in
+// tight per-core loops (the miner holds one per worker). A Session is
+// not safe for concurrent use.
+type Session struct {
+	s *core.Session
+}
+
+// NewSession returns a dedicated hashing context for this hasher.
+func (h *Hasher) NewSession() *Session {
+	return &Session{s: h.f.NewSession()}
+}
+
+// Hash computes the HashCore digest of input using the session's
+// reusable state.
+func (s *Session) Hash(input []byte) (Digest, error) { return s.s.Hash(input) }
 
 // Sum is Hash without the error return; it panics only on internal
 // invariant violations (never on any input value).
@@ -259,11 +280,25 @@ func TargetWithZeroBits(bits uint) [32]byte {
 	return [32]byte(t)
 }
 
-// powAdapter adapts Hasher to pow.Hasher.
+// powAdapter adapts Hasher to pow.SessionHasher, so miner workers each
+// run on a dedicated execution context.
 type powAdapter struct{ h *Hasher }
 
 func (a powAdapter) Hash(header []byte) ([32]byte, error) { return a.h.Hash(header) }
 func (a powAdapter) Name() string                         { return a.h.Name() }
+
+func (a powAdapter) NewSession() pow.Hasher {
+	return sessionAdapter{s: a.h.NewSession(), name: a.h.Name()}
+}
+
+// sessionAdapter adapts Session to pow.Hasher for one miner worker.
+type sessionAdapter struct {
+	s    *Session
+	name string
+}
+
+func (a sessionAdapter) Hash(header []byte) ([32]byte, error) { return a.s.Hash(header) }
+func (a sessionAdapter) Name() string                         { return a.name }
 
 // Mine searches for a nonce such that Hash(prefix || nonce_le64) meets the
 // target, using the given number of worker goroutines. It returns early

@@ -15,6 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"hashcore/internal/asm"
 	"hashcore/internal/gate"
@@ -54,14 +55,19 @@ type Options struct {
 	UseSourcePipeline bool
 }
 
-// Func is an instantiated HashCore PoW function. It is immutable and safe
-// for concurrent use: each Hash call builds its own VM.
+// Func is an instantiated HashCore PoW function. Its configuration is
+// immutable and it is safe for concurrent use: each Hash call checks a
+// reusable execution context (Session) out of an internal pool, so
+// steady-state hashing allocates nothing while the public API stays a
+// plain function call.
 type Func struct {
 	gate    gate.Gate
 	gen     *perfprox.Generator
 	vparams vm.Params
 	widgets int
 	useSrc  bool
+
+	sessions sync.Pool // of *Session
 }
 
 // ErrNoProfile is returned by New when Options.Profile is missing.
@@ -87,13 +93,15 @@ func New(opts Options) (*Func, error) {
 	if widgets < 1 || widgets > 64 {
 		return nil, fmt.Errorf("core: widget count %d out of range [1,64]", widgets)
 	}
-	return &Func{
+	f := &Func{
 		gate:    g,
 		gen:     gen,
 		vparams: opts.VMParams,
 		widgets: widgets,
 		useSrc:  opts.UseSourcePipeline,
-	}, nil
+	}
+	f.sessions.New = func() any { return f.NewSession() }
+	return f, nil
 }
 
 // GateName returns the name of the configured hash gate.
@@ -105,30 +113,29 @@ func (f *Func) ProfileName() string { return f.gen.Profile().Name }
 // Hash computes H(x) = G(s || W(s)) with s = G(x). With Widgets > 1 the
 // construction is iterated: s_{i+1} = G(s_i || W(s_i)), and the final
 // digest is the last gate output.
+//
+// Hash services the call from a pooled Session, so concurrent and
+// repeated calls reach a zero-allocation steady state without the caller
+// managing sessions explicitly.
 func (f *Func) Hash(input []byte) (Digest, error) {
-	return f.hash(input, nil)
+	s := f.session()
+	d, err := s.hash(input, nil)
+	f.sessions.Put(s)
+	return d, err
 }
 
 // HashObserved is Hash with a VM observer attached to every widget
 // execution (used by the experiment harness to collect timing metrics
 // from real PoW evaluations).
 func (f *Func) HashObserved(input []byte, obs vm.Observer) (Digest, error) {
-	return f.hash(input, obs)
+	s := f.session()
+	d, err := s.hash(input, obs)
+	f.sessions.Put(s)
+	return d, err
 }
 
-func (f *Func) hash(input []byte, obs vm.Observer) (Digest, error) {
-	seed := f.gate.Sum(input)
-	for i := 0; i < f.widgets; i++ {
-		out, err := f.runWidget(perfprox.Seed(seed), obs)
-		if err != nil {
-			return Digest{}, err
-		}
-		buf := make([]byte, 0, len(seed)+len(out))
-		buf = append(buf, seed[:]...)
-		buf = append(buf, out...)
-		seed = f.gate.Sum(buf)
-	}
-	return seed, nil
+func (f *Func) session() *Session {
+	return f.sessions.Get().(*Session)
 }
 
 // Sum is Hash for infallible contexts: it panics if the internal pipeline
@@ -142,31 +149,17 @@ func (f *Func) Sum(input []byte) Digest {
 	return d
 }
 
-// runWidget executes W(s): generate, (optionally round-trip through
-// source), run, return the snapshot stream.
+// runWidget executes W(s) on a pooled session and returns a copy of the
+// snapshot stream (the session's own output buffer is recycled). Cold
+// paths (Trace, the collision reduction) use this; the hot path stays on
+// Session.runWidget directly.
 func (f *Func) runWidget(seed perfprox.Seed, obs vm.Observer) ([]byte, error) {
-	var widget *prog.Program
-	if f.useSrc {
-		src, err := f.gen.GenerateSource(seed)
-		if err != nil {
-			return nil, err
-		}
-		widget, err = asm.Assemble(src)
-		if err != nil {
-			return nil, fmt.Errorf("core: compiling generated source: %w", err)
-		}
-	} else {
-		var err error
-		widget, err = f.gen.Generate(seed)
-		if err != nil {
-			return nil, err
-		}
-	}
-	res, err := vm.Run(widget, f.vparams, obs)
-	if err != nil {
+	s := f.session()
+	defer f.sessions.Put(s)
+	if err := s.runWidget(seed, obs); err != nil {
 		return nil, err
 	}
-	return res.Output, nil
+	return append([]byte(nil), s.res.Output...), nil
 }
 
 // Trace exposes every intermediate of a hash computation for inspection

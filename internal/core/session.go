@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"hashcore/internal/asm"
+	"hashcore/internal/perfprox"
+	"hashcore/internal/vm"
+)
+
+// Session is a reusable execution context for one HashCore function: it
+// owns the generator scratch (PRNGs, budgets, program builder), the VM
+// (decoded code and scratch memory image), the execution result (snapshot
+// output buffer) and the gate concatenation buffer. After a few warm-up
+// hashes every buffer has reached its high-water capacity and further
+// Hash calls allocate nothing.
+//
+// A Session is bound to the Func that created it and is NOT safe for
+// concurrent use; Func.Hash maintains a sync.Pool of sessions so ordinary
+// callers never touch this type. Hold a Session directly when a single
+// goroutine hashes in a tight loop (miner workers do this) and the pool
+// round-trip is unwanted.
+//
+// Digests computed through a Session are bit-identical to the
+// allocate-per-call pipeline; the golden-vector tests lock this in.
+type Session struct {
+	f   *Func
+	gen perfprox.Scratch
+	m   vm.Machine
+	res vm.Result
+	buf []byte // seed || widget-output gate message
+}
+
+// NewSession returns a fresh execution context for f.
+func (f *Func) NewSession() *Session {
+	return &Session{f: f}
+}
+
+// Hash computes the HashCore digest of input using the session's reusable
+// state. It is equivalent to (but does not allocate like) Func.Hash.
+func (s *Session) Hash(input []byte) (Digest, error) {
+	return s.hash(input, nil)
+}
+
+// hash runs the full pipeline: s = G(x), then widgets chained through the
+// gate. obs may be nil (the VM then takes its specialized unobserved
+// loop).
+func (s *Session) hash(input []byte, obs vm.Observer) (Digest, error) {
+	f := s.f
+	seed := f.gate.Sum(input)
+	for i := 0; i < f.widgets; i++ {
+		if err := s.runWidget(perfprox.Seed(seed), obs); err != nil {
+			return Digest{}, err
+		}
+		s.buf = append(append(s.buf[:0], seed[:]...), s.res.Output...)
+		seed = f.gate.Sum(s.buf)
+	}
+	return seed, nil
+}
+
+// runWidget executes W(s) into s.res: generate (optionally round-tripping
+// through source), load into the session VM, run.
+func (s *Session) runWidget(seed perfprox.Seed, obs vm.Observer) error {
+	f := s.f
+	if f.useSrc {
+		// The paper-faithful textual pipeline allocates by design (it
+		// renders and re-parses source); sessions only reuse the VM here.
+		src, err := f.gen.GenerateSource(seed)
+		if err != nil {
+			return err
+		}
+		widget, err := asm.Assemble(src)
+		if err != nil {
+			return fmt.Errorf("core: compiling generated source: %w", err)
+		}
+		if err := s.m.Load(widget); err != nil {
+			return err
+		}
+	} else {
+		widget, err := f.gen.GenerateInto(seed, &s.gen)
+		if err != nil {
+			return err
+		}
+		// The builder validated the program during BuildInto; skip the
+		// VM's second structural pass.
+		s.m.LoadTrusted(widget)
+	}
+	s.m.RunInto(f.vparams, obs, &s.res)
+	return nil
+}

@@ -47,6 +47,11 @@ const (
 	numClasses
 )
 
+// NumClasses is one past the largest Class value. Arrays indexed directly
+// by Class (per-class counters, budgets) use this as their length, which
+// keeps the hot accounting paths free of map lookups.
+const NumClasses = int(numClasses)
+
 // Classes lists every class in a stable order (useful for iteration in
 // profiles and reports).
 var Classes = [...]Class{

@@ -14,6 +14,13 @@ const (
 	diamondStaticNot                      // bne r14,r14: never taken
 )
 
+// fillerClasses lists the classes emitBody draws filler instructions
+// from, in the fixed order the budget-weighted picker uses.
+var fillerClasses = [...]isa.Class{
+	isa.ClassIntALU, isa.ClassIntMul, isa.ClassFPALU,
+	isa.ClassLoad, isa.ClassStore, isa.ClassVector,
+}
+
 // cur tracks the block currently being emitted into; genState.emit* keep it
 // up to date.
 type emitCtx struct {
@@ -24,7 +31,7 @@ type emitCtx struct {
 // registers, residual instructions (class budget remainders that do not
 // divide evenly by the trip count), then falls through to the body.
 func (st *genState) emitEntry() {
-	b := st.b
+	b := &st.b
 	b.MovI(regCounter, int64(st.params.LoopTrips))
 	b.MovI(regZero, 0)
 	b.MovI(regMask, 255)
@@ -53,10 +60,7 @@ func (st *genState) emitEntry() {
 	// Residual instructions (executed once, not per iteration). Branch
 	// residuals are dropped: a sub-0.2% undercount, documented in
 	// DESIGN.md.
-	for _, class := range []isa.Class{
-		isa.ClassIntALU, isa.ClassIntMul, isa.ClassFPALU,
-		isa.ClassLoad, isa.ClassStore, isa.ClassVector,
-	} {
+	for _, class := range fillerClasses {
 		for i := 0; i < st.residual[class]; i++ {
 			st.emitFiller(class)
 		}
@@ -67,25 +71,19 @@ func (st *genState) emitEntry() {
 // blocks, diamonds spread evenly through the stream, then the bookkeeping
 // tail and the exit block.
 func (st *genState) emitBody() error {
-	b := st.b
+	b := &st.b
 
 	// Working copies of the per-iteration budgets for filler classes.
-	work := map[isa.Class]int{
-		isa.ClassIntALU: st.budget[isa.ClassIntALU],
-		isa.ClassIntMul: st.budget[isa.ClassIntMul],
-		isa.ClassFPALU:  st.budget[isa.ClassFPALU],
-		isa.ClassLoad:   st.budget[isa.ClassLoad],
-		isa.ClassStore:  st.budget[isa.ClassStore],
-		isa.ClassVector: st.budget[isa.ClassVector],
-	}
+	st.work = [isa.NumClasses]int{}
 	totalFiller := 0
-	for _, n := range work {
-		totalFiller += n
+	for _, class := range fillerClasses {
+		st.work[class] = st.budget[class]
+		totalFiller += st.budget[class]
 	}
 
 	// Pre-plan diamond kinds, shuffled so kinds interleave through the
 	// body rather than clustering.
-	kinds := make([]diamondKind, 0, st.nDiamonds)
+	kinds := st.kinds[:0]
 	for i := 0; i < st.nDataDep; i++ {
 		kinds = append(kinds, diamondDataDep)
 	}
@@ -96,6 +94,7 @@ func (st *genState) emitBody() error {
 		kinds = append(kinds, diamondStaticNot)
 	}
 	st.branchRng.Shuffle(len(kinds), func(i, j int) { kinds[i], kinds[j] = kinds[j], kinds[i] })
+	st.kinds = kinds
 
 	interval := totalFiller
 	if st.nDiamonds > 0 {
@@ -112,15 +111,15 @@ func (st *genState) emitBody() error {
 	nextDiamond := 0
 
 	for totalFiller > 0 {
-		class := st.pickClass(work)
+		class := st.pickClass()
 		st.emitFiller(class)
-		work[class]--
+		st.work[class]--
 		totalFiller--
 		emitted++
 		blockLeft--
 
 		if nextDiamond < len(kinds) && emitted >= (nextDiamond+1)*interval {
-			st.emitDiamond(&ctx, kinds[nextDiamond], work, &totalFiller)
+			st.emitDiamond(&ctx, kinds[nextDiamond], &totalFiller)
 			nextDiamond++
 			blockLeft = st.sampleBlockSize()
 			continue
@@ -132,7 +131,7 @@ func (st *genState) emitBody() error {
 		}
 	}
 	for nextDiamond < len(kinds) {
-		st.emitDiamond(&ctx, kinds[nextDiamond], work, &totalFiller)
+		st.emitDiamond(&ctx, kinds[nextDiamond], &totalFiller)
 		nextDiamond++
 	}
 
@@ -172,38 +171,35 @@ func (st *genState) sampleBlockSize() int {
 
 // pickClass selects the class of the next filler instruction, weighted by
 // remaining budget.
-func (st *genState) pickClass(work map[isa.Class]int) isa.Class {
-	classes := [...]isa.Class{
-		isa.ClassIntALU, isa.ClassIntMul, isa.ClassFPALU,
-		isa.ClassLoad, isa.ClassStore, isa.ClassVector,
-	}
-	weights := make([]float64, len(classes))
-	for i, c := range classes {
-		if work[c] > 0 {
-			weights[i] = float64(work[c])
+func (st *genState) pickClass() isa.Class {
+	var weights [len(fillerClasses)]float64
+	for i, c := range fillerClasses {
+		if st.work[c] > 0 {
+			weights[i] = float64(st.work[c])
 		}
 	}
-	return classes[st.bbv.Pick(weights)]
+	return fillerClasses[st.bbv.Pick(weights[:])]
 }
 
 // emitDiamond writes a balanced if-diamond: a conditional branch over two
 // arms with identical class multisets, so the dynamic instruction counts
 // are independent of the branch direction.
-func (st *genState) emitDiamond(ctx *emitCtx, kind diamondKind, work map[isa.Class]int, totalFiller *int) {
-	b := st.b
+func (st *genState) emitDiamond(ctx *emitCtx, kind diamondKind, totalFiller *int) {
+	b := &st.b
 
 	// Draw the arm's class multiset from the remaining budgets.
 	armLen := st.params.ArmSize
 	if armLen > *totalFiller {
 		armLen = *totalFiller
 	}
-	armClasses := make([]isa.Class, 0, armLen)
+	armClasses := st.armClasses[:0]
 	for i := 0; i < armLen; i++ {
-		c := st.pickClass(work)
+		c := st.pickClass()
 		armClasses = append(armClasses, c)
-		work[c]--
+		st.work[c]--
 		*totalFiller--
 	}
+	st.armClasses = armClasses
 
 	armA := b.NewBlock()
 	armB := b.NewBlock()

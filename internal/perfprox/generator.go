@@ -67,9 +67,33 @@ func NewGenerator(prof *profile.Profile, params Params) (*Generator, error) {
 // Profile returns (a copy of) the target profile.
 func (g *Generator) Profile() *profile.Profile { return g.prof.Clone() }
 
-// Generate builds the widget program for the given hash seed.
+// Scratch holds every piece of mutable state one widget generation needs:
+// the PRNGs, class budgets, program builder and the output program. The
+// zero value is ready to use. Reusing a Scratch across GenerateInto calls
+// reaches a steady state where generation performs no heap allocation;
+// the price is that each generated program is only valid until the next
+// GenerateInto on the same Scratch. A Scratch is not safe for concurrent
+// use — give each goroutine its own (core.Session does exactly that).
+type Scratch struct {
+	st genState
+}
+
+// Generate builds the widget program for the given hash seed. The
+// returned program is independent of the generator and never invalidated
+// (it owns freshly allocated storage via its private scratch).
 func (g *Generator) Generate(seed Seed) (*prog.Program, error) {
-	st := newGenState(g.prof, g.params, Split(seed))
+	var sc Scratch
+	return g.GenerateInto(seed, &sc)
+}
+
+// GenerateInto builds the widget program for the given hash seed using
+// (and mutating) sc's storage. The returned program aliases sc and is
+// invalidated by the next GenerateInto call on the same Scratch; callers
+// needing longer-lived programs should use Generate. Output is
+// bit-identical to Generate for every seed.
+func (g *Generator) GenerateInto(seed Seed, sc *Scratch) (*prog.Program, error) {
+	st := &sc.st
+	st.reset(g.prof, g.params, Split(seed))
 	p, err := st.run()
 	if err != nil {
 		return nil, fmt.Errorf("perfprox: generating widget: %w", err)
@@ -106,22 +130,35 @@ const (
 	regCounter  = 15 // outer loop counter
 )
 
-// genState carries all mutable state for one widget generation.
+// Recency-ring depths for the dependency-distance machinery.
+const (
+	intRingLen = regPoolSize
+	fpRingLen  = 4
+	vecRingLen = 3
+)
+
+// genState carries all mutable state for one widget generation. It is
+// embedded in Scratch and fully re-initialized by reset, so the same
+// value can drive any number of generations; the PRNGs, budgets and
+// recency rings are fixed-size values (no maps, no per-generation
+// allocation — per-class state is indexed arrays, which also keeps the
+// emission loop free of map-hashing overhead).
 type genState struct {
 	prof   *profile.Profile
 	params Params
 	fields Fields
 
-	bbv       *rng.Xoshiro256 // code structure decisions
-	mem       *rng.Xoshiro256 // memory pattern decisions
-	branchRng *rng.Xoshiro256 // branch behaviour decisions
+	bbv       rng.Xoshiro256 // code structure decisions
+	mem       rng.Xoshiro256 // memory pattern decisions
+	branchRng rng.Xoshiro256 // branch behaviour decisions
 
-	b *prog.Builder
+	b prog.Builder
 
-	// Per-iteration static budgets by class (branch handled separately).
-	budget map[isa.Class]int
-	// Residual instructions emitted once in the entry block.
-	residual map[isa.Class]int
+	// Per-iteration static budgets by class (branch handled separately),
+	// the one-time residuals, and the emitBody working copy.
+	budget   [isa.NumClasses]int
+	residual [isa.NumClasses]int
+	work     [isa.NumClasses]int
 
 	nDiamonds  int // diamonds per iteration
 	nDataDep   int // of which data-dependent
@@ -133,30 +170,39 @@ type genState struct {
 	// Rotating static displacement counters so accesses spread out.
 	seqOff, strideOff int
 
-	// Dependency-distance machinery: recent destinations of the int pool.
-	lastIntDst []uint8
-	lastFPDst  []uint8
-	lastVecDst []uint8
+	// Dependency-distance machinery: recent destinations of the pools.
+	lastIntDst [intRingLen]uint8
+	lastFPDst  [fpRingLen]uint8
+	lastVecDst [vecRingLen]uint8
 
 	floadProb  float64 // probability a load is an fload
 	fstoreProb float64 // probability a store is an fstore
+
+	// Reusable emission scratch (capacity retained across generations).
+	kinds      []diamondKind
+	armClasses []isa.Class
+	out        prog.Program
 }
 
-func newGenState(prof *profile.Profile, params Params, fields Fields) *genState {
-	st := &genState{
-		prof:      prof,
-		params:    params,
-		fields:    fields,
-		bbv:       rng.NewXoshiro256(uint64(fields.BBV)),
-		mem:       rng.NewXoshiro256(uint64(fields.Mem)),
-		branchRng: rng.NewXoshiro256(uint64(fields.Branch)),
-		budget:    make(map[isa.Class]int, 8),
-		residual:  make(map[isa.Class]int, 8),
-	}
-	st.lastIntDst = []uint8{0, 1, 2, 3, 4}
-	st.lastFPDst = []uint8{0, 1, 2, 3}
-	st.lastVecDst = []uint8{0, 1, 2}
-	return st
+// reset re-initializes every generation-scoped field; storage-bearing
+// fields (builder, kinds, armClasses, out) keep their capacity.
+func (st *genState) reset(prof *profile.Profile, params Params, fields Fields) {
+	st.prof = prof
+	st.params = params
+	st.fields = fields
+	st.bbv.Seed(uint64(fields.BBV))
+	st.mem.Seed(uint64(fields.Mem))
+	st.branchRng.Seed(uint64(fields.Branch))
+	st.budget = [isa.NumClasses]int{}
+	st.residual = [isa.NumClasses]int{}
+	st.work = [isa.NumClasses]int{}
+	st.nDiamonds, st.nDataDep, st.nStaticTkn, st.nStatic = 0, 0, 0, 0
+	st.thresh = 0
+	st.seqOff, st.strideOff = 0, 0
+	st.lastIntDst = [intRingLen]uint8{0, 1, 2, 3, 4}
+	st.lastFPDst = [fpRingLen]uint8{0, 1, 2, 3}
+	st.lastVecDst = [vecRingLen]uint8{0, 1, 2}
+	st.floadProb, st.fstoreProb = 0, 0
 }
 
 var errBudget = errors.New("perfprox: class budgets infeasible for structure overhead")
@@ -169,19 +215,24 @@ func (st *genState) run() (*prog.Program, error) {
 	}
 	st.planMemory()
 
-	st.b = prog.NewBuilder(st.prof.WorkingSet, st.memSeed())
+	st.b.Reset(st.prof.WorkingSet, st.memSeed())
 	st.b.NewBlock() // entry; falls through to the loop head
 	st.emitEntry()
 	if err := st.emitBody(); err != nil {
 		return nil, err
 	}
-	return st.b.Build()
+	if err := st.b.BuildInto(&st.out); err != nil {
+		return nil, err
+	}
+	return &st.out, nil
 }
 
 // memSeed expands the 32-bit memory field into the 64-bit scratch-memory
 // content seed.
 func (st *genState) memSeed() uint64 {
-	return rng.NewSplitMix64(uint64(st.fields.Mem)).Next()
+	sm := rng.SplitMix64{}
+	sm.Seed(uint64(st.fields.Mem))
+	return sm.Next()
 }
 
 // computeBudgets turns the profile mix plus seed noise into per-iteration
@@ -191,21 +242,19 @@ func (st *genState) computeBudgets() {
 	T := float64(st.prof.TargetDynamic)
 	L := st.params.LoopTrips
 	noise := func(field uint32) float64 { return 1 + st.params.Noise*Unit(field) }
-
-	dyn := map[isa.Class]float64{
-		isa.ClassIntALU: T * st.prof.Mix[isa.ClassIntALU] * noise(st.fields.IntALU),
-		isa.ClassIntMul: T * st.prof.Mix[isa.ClassIntMul] * noise(st.fields.IntMul),
-		isa.ClassFPALU:  T * st.prof.Mix[isa.ClassFPALU] * noise(st.fields.FPALU),
-		isa.ClassLoad:   T * st.prof.Mix[isa.ClassLoad] * noise(st.fields.Loads),
-		isa.ClassStore:  T * st.prof.Mix[isa.ClassStore] * noise(st.fields.Stores),
-		isa.ClassBranch: T * st.prof.Mix[isa.ClassBranch],
-		isa.ClassVector: T * st.prof.Mix[isa.ClassVector],
-	}
-	for class, d := range dyn {
+	set := func(class isa.Class, d float64) {
 		per := int(d) / L
 		st.budget[class] = per
 		st.residual[class] = int(d) - per*L
 	}
+
+	set(isa.ClassIntALU, T*st.prof.Mix[isa.ClassIntALU]*noise(st.fields.IntALU))
+	set(isa.ClassIntMul, T*st.prof.Mix[isa.ClassIntMul]*noise(st.fields.IntMul))
+	set(isa.ClassFPALU, T*st.prof.Mix[isa.ClassFPALU]*noise(st.fields.FPALU))
+	set(isa.ClassLoad, T*st.prof.Mix[isa.ClassLoad]*noise(st.fields.Loads))
+	set(isa.ClassStore, T*st.prof.Mix[isa.ClassStore]*noise(st.fields.Stores))
+	set(isa.ClassBranch, T*st.prof.Mix[isa.ClassBranch])
+	set(isa.ClassVector, T*st.prof.Mix[isa.ClassVector])
 }
 
 // planBranches allocates the per-iteration branch-class budget to the

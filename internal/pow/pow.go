@@ -31,6 +31,18 @@ type Hasher interface {
 	Name() string
 }
 
+// SessionHasher is optionally implemented by hashers that can mint
+// cheaper single-goroutine execution contexts (e.g. hashcore's pooled
+// sessions). The miner gives each worker its own session so the hot
+// nonce loop skips even the pool round-trip and shares no mutable state
+// between cores.
+type SessionHasher interface {
+	Hasher
+	// NewSession returns a Hasher that computes identical digests but is
+	// only safe for use by one goroutine at a time.
+	NewSession() Hasher
+}
+
 // Target is a 256-bit difficulty threshold: a digest meets the target iff,
 // read as a big-endian integer, it is numerically <= the target.
 type Target [DigestSize]byte
@@ -158,10 +170,26 @@ func NewMiner(h Hasher, workers int) *Miner {
 // without finding a valid digest.
 var ErrExhausted = errors.New("pow: nonce space exhausted")
 
+// AttemptBatch is how many attempts a worker reserves from the shared
+// counter at once. One atomic add per attempt puts a contended cache
+// line on every hash evaluation's critical path; batching amortizes it
+// to one atomic operation per AttemptBatch hashes. The value is exported
+// so tests (and capacity planning) can reason about the reservation
+// granularity.
+const AttemptBatch = 64
+
 // Mine searches for a nonce n >= start such that
 // Hash(prefix || n_le64) <= target, trying at most maxAttempts nonces
 // (0 means unbounded). It returns early with ctx.Err() if the context is
 // cancelled.
+//
+// Each worker owns its header buffer, a private hashing session when the
+// hasher provides one (SessionHasher), and a batched reservation against
+// the shared attempt counter, so the nonce loop touches no cross-core
+// mutable state between reservations. Attempt reservations are claimed
+// with a bounded compare-and-swap: the total never exceeds maxAttempts,
+// and unused reservations are refunded on exit, so Result.Attempts is
+// the exact number of hash evaluations performed.
 func (m *Miner) Mine(ctx context.Context, prefix []byte, target Target, start, maxAttempts uint64) (Result, error) {
 	var (
 		found    atomic.Bool
@@ -175,18 +203,31 @@ func (m *Miner) Mine(ctx context.Context, prefix []byte, target Target, start, m
 		wg.Add(1)
 		go func(offset uint64) {
 			defer wg.Done()
+			hasher := m.hasher
+			if sh, ok := m.hasher.(SessionHasher); ok {
+				hasher = sh.NewSession()
+			}
 			header := make([]byte, len(prefix)+8)
 			copy(header, prefix)
+			var quota uint64 // reserved attempts not yet performed
+			defer func() {
+				if quota > 0 {
+					attempts.Add(^(quota - 1)) // refund unused reservations
+				}
+			}()
 			for nonce := start + offset; ; nonce += uint64(m.workers) {
 				if found.Load() || ctx.Err() != nil {
 					return
 				}
-				n := attempts.Add(1)
-				if maxAttempts > 0 && n > maxAttempts {
-					return
+				if quota == 0 {
+					quota = reserveAttempts(&attempts, maxAttempts)
+					if quota == 0 {
+						return // attempt budget exhausted
+					}
 				}
+				quota--
 				binary.LittleEndian.PutUint64(header[len(prefix):], nonce)
-				digest, err := m.hasher.Hash(header)
+				digest, err := hasher.Hash(header)
 				if err != nil {
 					resultMu.Lock()
 					if firstErr == nil {
@@ -221,6 +262,31 @@ func (m *Miner) Mine(ctx context.Context, prefix []byte, target Target, start, m
 	}
 	result.Attempts = attempts.Load()
 	return result, nil
+}
+
+// reserveAttempts claims up to AttemptBatch attempts from the shared
+// counter. With maxAttempts > 0 the claim is bounded: the counter never
+// passes maxAttempts, so the miner as a whole cannot overshoot its
+// budget no matter how many workers race here. Returns 0 when the budget
+// is exhausted.
+func reserveAttempts(attempts *atomic.Uint64, maxAttempts uint64) uint64 {
+	if maxAttempts == 0 {
+		attempts.Add(AttemptBatch)
+		return AttemptBatch
+	}
+	for {
+		cur := attempts.Load()
+		if cur >= maxAttempts {
+			return 0
+		}
+		n := uint64(AttemptBatch)
+		if rem := maxAttempts - cur; rem < n {
+			n = rem
+		}
+		if attempts.CompareAndSwap(cur, cur+n) {
+			return n
+		}
+	}
 }
 
 // valid reports whether the result has been filled in. The zero digest

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/big"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -172,6 +173,97 @@ func TestMineRespectsMaxAttempts(t *testing.T) {
 	_, err := m.Mine(context.Background(), []byte("x"), impossible, 0, 500)
 	if !errors.Is(err, ErrExhausted) {
 		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+}
+
+// countingHasher counts the hash evaluations actually performed, so tests
+// can verify the batched attempt accounting against ground truth. It can
+// also hand out per-worker sessions to prove the miner requests them.
+type countingHasher struct {
+	calls    atomic.Uint64
+	sessions atomic.Int32
+}
+
+func (c *countingHasher) Hash(header []byte) ([DigestSize]byte, error) {
+	c.calls.Add(1)
+	var d [DigestSize]byte
+	d[0] = 0xff // never meets any realistic target
+	copy(d[1:], header)
+	return d, nil
+}
+
+func (c *countingHasher) Name() string { return "counting" }
+
+func (c *countingHasher) NewSession() Hasher {
+	c.sessions.Add(1)
+	return c
+}
+
+// TestMineBatchedAttemptAccounting verifies the chunked attempt counter:
+// even with many workers racing over batch reservations, the miner must
+// perform exactly maxAttempts evaluations (the bounded reservation can
+// never overshoot), report that number, and still return ErrExhausted.
+func TestMineBatchedAttemptAccounting(t *testing.T) {
+	var impossible Target
+	for _, tc := range []struct {
+		workers     int
+		maxAttempts uint64
+	}{
+		{1, 1},
+		{1, AttemptBatch - 1},
+		{4, AttemptBatch},
+		{4, 4*AttemptBatch + 17}, // not a multiple of the batch size
+		{8, 1000},
+		{8, 3}, // fewer attempts than workers
+	} {
+		h := &countingHasher{}
+		m := NewMiner(h, tc.workers)
+		_, err := m.Mine(context.Background(), []byte("acct"), impossible, 0, tc.maxAttempts)
+		if !errors.Is(err, ErrExhausted) {
+			t.Fatalf("workers=%d max=%d: err = %v, want ErrExhausted", tc.workers, tc.maxAttempts, err)
+		}
+		if got := h.calls.Load(); got != tc.maxAttempts {
+			t.Errorf("workers=%d max=%d: %d hash evaluations, want exactly %d",
+				tc.workers, tc.maxAttempts, got, tc.maxAttempts)
+		}
+		if got := h.sessions.Load(); got != int32(tc.workers) {
+			t.Errorf("workers=%d: %d sessions requested, want one per worker", tc.workers, got)
+		}
+	}
+}
+
+// TestMineAttemptsExactOnSuccess verifies the refund path: when a nonce
+// is found mid-batch, unused reservations are returned, so
+// Result.Attempts equals the number of evaluations actually performed.
+func TestMineAttemptsExactOnSuccess(t *testing.T) {
+	h := baseline.SHA256d{}
+	// Permissive target (8 zero bits, ~256 expected attempts) so the
+	// search ends well inside a reservation batch.
+	target := FromBig(new(big.Int).Rsh(new(big.Int).Lsh(big.NewInt(1), 256), 8))
+	res, err := NewMiner(h, 1).Mine(context.Background(), []byte("exact"), target, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one worker scanning nonces 0.. sequentially, the winning nonce
+	// is the res.Attempts-th evaluation exactly.
+	if res.Attempts != res.Nonce+1 {
+		t.Errorf("Attempts = %d, want nonce+1 = %d", res.Attempts, res.Nonce+1)
+	}
+}
+
+// TestMineMaxAttemptsBelowBatchFound verifies a valid nonce is still
+// found when the whole budget is smaller than one reservation batch.
+func TestMineMaxAttemptsBelowBatchFound(t *testing.T) {
+	h := baseline.SHA256d{}
+	// Easy target (2 zero bits, ~4 expected attempts) so the fixed input
+	// deterministically succeeds within half a batch.
+	target := FromBig(new(big.Int).Rsh(new(big.Int).Lsh(big.NewInt(1), 256), 2))
+	res, err := NewMiner(h, 2).Mine(context.Background(), []byte("small"), target, 0, AttemptBatch/2)
+	if err != nil {
+		t.Fatalf("expected success within %d attempts: %v", AttemptBatch/2, err)
+	}
+	if res.Attempts > AttemptBatch/2 {
+		t.Errorf("Attempts = %d exceeds budget %d", res.Attempts, AttemptBatch/2)
 	}
 }
 

@@ -13,19 +13,51 @@ import (
 // Blocks are identified by the labels returned from NewBlock, so code can
 // reference a block before its instructions are emitted (needed for forward
 // branches and loop back-edges).
+//
+// Internally the builder appends every instruction to one flat emission
+// log and carves per-block instruction slices out of a single contiguous
+// arena at Build time. Both grow to a high-water capacity and are reused
+// across Reset, so a generation loop that recycles one builder reaches a
+// zero-allocation steady state even though individual block shapes differ
+// from program to program.
 type Builder struct {
 	program Program
 	current int // index of the block being appended to, -1 if none
 	err     error
+
+	log    []taggedInstr // instructions in emission order
+	arena  []Instr       // block-contiguous storage carved at Build time
+	counts []int         // per-block instruction counts (Build scratch)
+}
+
+// taggedInstr is one emitted instruction plus the block it belongs to
+// (emission may jump between blocks, e.g. branch diamonds fill their arms
+// after the join block exists).
+type taggedInstr struct {
+	ins   Instr
+	block int32
 }
 
 // NewBuilder returns a Builder for a program with the given scratch-memory
 // declaration.
 func NewBuilder(memSize int, memSeed uint64) *Builder {
-	return &Builder{
-		program: Program{MemSize: memSize, MemSeed: memSeed},
-		current: -1,
-	}
+	b := &Builder{}
+	b.Reset(memSize, memSeed)
+	return b
+}
+
+// Reset reclaims the builder for a new program with the given
+// scratch-memory declaration, retaining the emission-log and arena
+// storage accumulated by previous programs so steady-state regeneration
+// allocates nothing. Programs previously returned by Build share the
+// arena and are invalidated; only callers that have finished with them
+// (or copied them) may Reset.
+func (b *Builder) Reset(memSize int, memSeed uint64) {
+	blocks := b.program.Blocks[:0]
+	b.program = Program{MemSize: memSize, MemSeed: memSeed, Blocks: blocks}
+	b.current = -1
+	b.err = nil
+	b.log = b.log[:0]
 }
 
 // Label names a block created by NewBlock.
@@ -34,7 +66,12 @@ type Label uint32
 // NewBlock creates a new empty block and returns its label. The block
 // becomes the current emission target.
 func (b *Builder) NewBlock() Label {
-	b.program.Blocks = append(b.program.Blocks, Block{})
+	if n := len(b.program.Blocks); n < cap(b.program.Blocks) {
+		b.program.Blocks = b.program.Blocks[:n+1]
+		b.program.Blocks[n] = Block{}
+	} else {
+		b.program.Blocks = append(b.program.Blocks, Block{})
+	}
 	b.current = len(b.program.Blocks) - 1
 	return Label(b.current)
 }
@@ -57,8 +94,7 @@ func (b *Builder) Emit(ins Instr) {
 		b.fail(fmt.Errorf("prog: Emit before NewBlock"))
 		return
 	}
-	blk := &b.program.Blocks[b.current]
-	blk.Instrs = append(blk.Instrs, ins)
+	b.log = append(b.log, taggedInstr{ins: ins, block: int32(b.current)})
 }
 
 // Op3 emits a three-register-operand instruction.
@@ -126,17 +162,69 @@ func (b *Builder) fail(err error) {
 	}
 }
 
-// Build validates and returns the constructed program. After Build the
-// builder should not be reused.
+// materialize carves the emission log into per-block instruction slices
+// backed by the builder's contiguous arena.
+func (b *Builder) materialize() {
+	nb := len(b.program.Blocks)
+	if cap(b.counts) < nb {
+		b.counts = make([]int, nb)
+	}
+	counts := b.counts[:nb]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := range b.log {
+		counts[b.log[i].block]++
+	}
+
+	total := len(b.log)
+	if cap(b.arena) < total {
+		b.arena = make([]Instr, total)
+	}
+	arena := b.arena[:total]
+
+	off := 0
+	for bi := 0; bi < nb; bi++ {
+		n := counts[bi]
+		b.program.Blocks[bi].Instrs = arena[off:off : off+n]
+		off += n
+	}
+	for i := range b.log {
+		t := &b.log[i]
+		blk := &b.program.Blocks[t.block]
+		blk.Instrs = append(blk.Instrs, t.ins)
+	}
+}
+
+// Build validates and returns the constructed program. The returned
+// program shares the builder's storage: it stays valid until the next
+// Reset, after which the builder may be used again (reusing that
+// storage). Callers that never Reset can treat the program as immutable
+// forever, so existing single-shot uses are unaffected.
 func (b *Builder) Build() (*Program, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
+	b.materialize()
 	p := b.program
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	return &p, nil
+}
+
+// BuildInto is Build for reusable-program callers: it validates the
+// constructed program and stores it in *out, overwriting the previous
+// contents. Combined with Reset it lets a generation loop reuse one
+// Program value (and the builder's storage) with zero steady-state
+// allocation.
+func (b *Builder) BuildInto(out *Program) error {
+	if b.err != nil {
+		return b.err
+	}
+	b.materialize()
+	*out = b.program
+	return out.Validate()
 }
 
 // MustBuild is Build for programs constructed from trusted, static code

@@ -25,6 +25,11 @@ func NewSplitMix64(seed uint64) *SplitMix64 {
 	return &SplitMix64{state: seed}
 }
 
+// Seed resets the generator state in place, so value-typed generators
+// embedded in reusable scratch structs can be reseeded without
+// allocating.
+func (s *SplitMix64) Seed(seed uint64) { s.state = seed }
+
 // Next returns the next 64 bits of the stream.
 func (s *SplitMix64) Next() uint64 {
 	s.state += 0x9e3779b97f4a7c15
@@ -45,8 +50,17 @@ type Xoshiro256 struct {
 // NewXoshiro256 returns a xoshiro256** generator whose state is derived
 // from seed via SplitMix64, as recommended by the xoshiro authors.
 func NewXoshiro256(seed uint64) *Xoshiro256 {
-	sm := NewSplitMix64(seed)
 	var x Xoshiro256
+	x.Seed(seed)
+	return &x
+}
+
+// Seed (re)initializes the generator state in place from seed via
+// SplitMix64, producing exactly the same stream as NewXoshiro256(seed).
+// It lets value-typed generators embedded in reusable scratch structs be
+// reseeded without allocating.
+func (x *Xoshiro256) Seed(seed uint64) {
+	sm := SplitMix64{state: seed}
 	for i := range x.s {
 		x.s[i] = sm.Next()
 	}
@@ -55,7 +69,6 @@ func NewXoshiro256(seed uint64) *Xoshiro256 {
 	if x.s == [4]uint64{} {
 		x.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &x
 }
 
 func rotl(x uint64, k uint) uint64 {

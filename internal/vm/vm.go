@@ -17,6 +17,13 @@
 //   - canonicalized NaNs after every FP operation;
 //   - masked, aligned scratch-memory addressing;
 //   - a hard dynamic-instruction budget so execution always terminates.
+//
+// Machines are reusable: Load swaps in a new program while retaining the
+// decoded-code and scratch-memory storage, and RunInto appends output into
+// a caller-owned Result, so a hot loop (core.Session, the miner) executes
+// arbitrarily many widgets without allocating. The interpreter itself is
+// specialized: when no Observer is attached Run takes a loop with no event
+// construction and no per-instruction observer branch.
 package vm
 
 import (
@@ -104,32 +111,51 @@ type Result struct {
 	// Snapshots is the number of snapshots taken.
 	Snapshots int
 	// ClassCounts counts retired instructions per resource class.
-	ClassCounts [8]uint64
+	ClassCounts [isa.NumClasses]uint64
 	// CondBranches and TakenBranches count conditional branches retired
 	// and those taken.
 	CondBranches  uint64
 	TakenBranches uint64
 }
 
-// flatInstr is a pre-decoded instruction with block targets resolved to
-// flat code indices.
-type flatInstr struct {
-	op         isa.Opcode
-	class      isa.Class
-	dst, a, b  uint8
-	imm        int64
-	target     uint32 // flat code index for control instructions
-	origTarget uint32 // original block index (for events/debug)
+// reset clears the result for a fresh execution, retaining Output's
+// backing storage so repeated RunInto calls do not allocate.
+func (r *Result) reset() {
+	r.Output = r.Output[:0]
+	r.Retired = 0
+	r.Truncated = false
+	r.Snapshots = 0
+	r.ClassCounts = [isa.NumClasses]uint64{}
+	r.CondBranches = 0
+	r.TakenBranches = 0
 }
 
-// Machine is a reusable executor for a single program. Construct with New,
-// then call Run; a Machine may be Run multiple times (state is reset) but
-// is not safe for concurrent use.
+// flatInstr is a pre-decoded instruction with block targets resolved to
+// flat code indices. The layout is ordered widest-field-first so the
+// struct packs into 24 bytes (no padding holes) and the decoded program
+// stays dense in the data cache; the original block index of control
+// targets is deliberately not retained (it is never needed at execution
+// time).
+type flatInstr struct {
+	imm       int64
+	target    uint32 // flat code index for control instructions
+	op        isa.Opcode
+	class     isa.Class
+	dst, a, b uint8
+}
+
+// Machine is a reusable executor. Construct with New (or the zero value
+// plus Load), then call Run or RunInto. A Machine may execute many
+// programs: Load replaces the program while keeping the decoded-code
+// slice and scratch memory, so steady-state reloads allocate nothing.
+// A Machine is not safe for concurrent use.
 type Machine struct {
 	code    []flatInstr
 	memSize int
 	memSeed uint64
 	mem     []byte
+
+	blockStart []uint32 // scratch for Load, reused across programs
 
 	intRegs [isa.NumIntRegs]uint64
 	fpRegs  [isa.NumFPRegs]uint64 // IEEE-754 bits
@@ -138,28 +164,53 @@ type Machine struct {
 
 // New pre-decodes and validates p for execution.
 func New(p *prog.Program) (*Machine, error) {
-	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("vm: %w", err)
+	m := &Machine{}
+	if err := m.Load(p); err != nil {
+		return nil, err
 	}
-	m := &Machine{memSize: p.MemSize, memSeed: p.MemSeed}
+	return m, nil
+}
 
-	blockStart := make([]uint32, len(p.Blocks))
+// Load validates p and swaps it in as the machine's program, reusing the
+// machine's decoded-code storage.
+func (m *Machine) Load(p *prog.Program) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("vm: %w", err)
+	}
+	m.LoadTrusted(p)
+	return nil
+}
+
+// LoadTrusted is Load without the validation pass, for programs that are
+// already known to be structurally valid (e.g. just returned by
+// prog.Builder.Build, which validates). Loading an unvalidated program
+// may make Run panic with an out-of-range access.
+func (m *Machine) LoadTrusted(p *prog.Program) {
+	m.memSize = p.MemSize
+	m.memSeed = p.MemSeed
+
+	if cap(m.blockStart) < len(p.Blocks) {
+		m.blockStart = make([]uint32, len(p.Blocks))
+	}
+	blockStart := m.blockStart[:len(p.Blocks)]
 	total := 0
 	for i := range p.Blocks {
 		blockStart[i] = uint32(total)
 		total += len(p.Blocks[i].Instrs)
 	}
-	m.code = make([]flatInstr, 0, total)
+	if cap(m.code) < total {
+		m.code = make([]flatInstr, 0, total)
+	}
+	m.code = m.code[:0]
 	for bi := range p.Blocks {
 		for _, ins := range p.Blocks[bi].Instrs {
 			fi := flatInstr{
-				op:         ins.Op,
-				class:      ins.Op.ClassOf(),
-				dst:        ins.Dst,
-				a:          ins.A,
-				b:          ins.B,
-				imm:        ins.Imm,
-				origTarget: ins.Target,
+				op:    ins.Op,
+				class: ins.Op.ClassOf(),
+				dst:   ins.Dst,
+				a:     ins.A,
+				b:     ins.B,
+				imm:   ins.Imm,
 			}
 			if ins.Op.IsControl() && ins.Op != isa.OpHalt {
 				fi.target = blockStart[ins.Target]
@@ -167,38 +218,267 @@ func New(p *prog.Program) (*Machine, error) {
 			m.code = append(m.code, fi)
 		}
 	}
-	return m, nil
 }
 
 // reset restores the architectural state for a fresh run: registers are
 // zeroed (FP registers hold +0.0) and memory is regenerated from the
-// program's memory seed.
+// program's memory seed. The memory buffer is reused across runs.
 func (m *Machine) reset() {
 	m.intRegs = [isa.NumIntRegs]uint64{}
 	m.fpRegs = [isa.NumFPRegs]uint64{}
 	m.vecRegs = [isa.NumVecRegs][isa.VecLanes]uint64{}
-	if m.mem == nil {
+	if cap(m.mem) < m.memSize {
 		m.mem = make([]byte, m.memSize)
 	}
+	m.mem = m.mem[:m.memSize]
 	sm := rng.NewSplitMix64(m.memSeed)
 	for off := 0; off < len(m.mem); off += 8 {
 		binary.LittleEndian.PutUint64(m.mem[off:], sm.Next())
 	}
 }
 
-// Run executes the program to completion (halt or budget) and returns the
-// result. obs may be nil.
+// Run executes the program to completion (halt or budget) and returns a
+// freshly allocated result. Callers on a hot path should use RunInto with
+// a reused Result instead.
 func (m *Machine) Run(params Params, obs Observer) *Result {
+	res := &Result{}
+	m.RunInto(params, obs, res)
+	return res
+}
+
+// RunInto executes the program to completion (halt or budget), writing
+// the outcome into res. res is fully overwritten; its Output storage is
+// reused, so a Result that is recycled across calls reaches a steady
+// state where execution performs no allocation.
+//
+// The interpreter is specialized on the observer: with obs == nil a
+// tighter loop runs that skips event construction and per-instruction
+// observer dispatch entirely. Both loops retire identical architectural
+// state — digests do not depend on whether an observer was attached.
+func (m *Machine) RunInto(params Params, obs Observer, res *Result) {
 	params = params.withDefaults()
 	m.reset()
-
-	res := &Result{}
-	estSnaps := int(params.MaxInstructions/params.SnapshotInterval) + 2
-	if estSnaps > 4096 {
-		estSnaps = 4096
+	res.reset()
+	if res.Output == nil {
+		estSnaps := int(params.MaxInstructions/params.SnapshotInterval) + 2
+		if estSnaps > 2048 {
+			estSnaps = 2048
+		}
+		res.Output = make([]byte, 0, estSnaps*SnapshotSize)
 	}
-	res.Output = make([]byte, 0, estSnaps*SnapshotSize)
+	if obs == nil {
+		m.runUnobserved(params, res)
+	} else {
+		m.runObserved(params, obs, res)
+	}
+}
 
+// runUnobserved is the production interpreter loop: no Event construction,
+// no observer branch, no effective-address bookkeeping beyond the access
+// itself, and hot counters held in locals rather than behind the Result
+// pointer. It must retire exactly the architectural state runObserved
+// does.
+func (m *Machine) runUnobserved(params Params, res *Result) {
+	code := m.code
+	mem := m.mem
+	intRegs := &m.intRegs
+	fpRegs := &m.fpRegs
+
+	mask := uint64(m.memSize - 1)
+	maxInstr := params.MaxInstructions
+	var pc uint32
+	var retired uint64
+	var condBranches, takenBranches uint64
+	var classCounts [isa.NumClasses]uint64
+	untilSnap := params.SnapshotInterval
+	truncated := false
+
+	for {
+		if retired >= maxInstr {
+			truncated = true
+			break
+		}
+		ins := &code[pc]
+		nextPC := pc + 1
+
+		switch ins.op {
+		case isa.OpAdd:
+			intRegs[ins.dst] = intRegs[ins.a] + intRegs[ins.b]
+		case isa.OpSub:
+			intRegs[ins.dst] = intRegs[ins.a] - intRegs[ins.b]
+		case isa.OpAnd:
+			intRegs[ins.dst] = intRegs[ins.a] & intRegs[ins.b]
+		case isa.OpOr:
+			intRegs[ins.dst] = intRegs[ins.a] | intRegs[ins.b]
+		case isa.OpXor:
+			intRegs[ins.dst] = intRegs[ins.a] ^ intRegs[ins.b]
+		case isa.OpShl:
+			intRegs[ins.dst] = intRegs[ins.a] << (intRegs[ins.b] & 63)
+		case isa.OpShr:
+			intRegs[ins.dst] = intRegs[ins.a] >> (intRegs[ins.b] & 63)
+		case isa.OpRor:
+			k := intRegs[ins.b] & 63
+			v := intRegs[ins.a]
+			intRegs[ins.dst] = (v >> k) | (v << ((64 - k) & 63))
+		case isa.OpCmpLT:
+			if intRegs[ins.a] < intRegs[ins.b] {
+				intRegs[ins.dst] = 1
+			} else {
+				intRegs[ins.dst] = 0
+			}
+		case isa.OpCmpEQ:
+			if intRegs[ins.a] == intRegs[ins.b] {
+				intRegs[ins.dst] = 1
+			} else {
+				intRegs[ins.dst] = 0
+			}
+		case isa.OpMov:
+			intRegs[ins.dst] = intRegs[ins.a]
+		case isa.OpMovI:
+			intRegs[ins.dst] = uint64(ins.imm)
+		case isa.OpAddI:
+			intRegs[ins.dst] = intRegs[ins.a] + uint64(ins.imm)
+
+		case isa.OpMul:
+			intRegs[ins.dst] = intRegs[ins.a] * intRegs[ins.b]
+		case isa.OpMulH:
+			hi, _ := mul64(intRegs[ins.a], intRegs[ins.b])
+			intRegs[ins.dst] = hi
+
+		case isa.OpFAdd:
+			fa := math.Float64frombits(fpRegs[ins.a])
+			fb := math.Float64frombits(fpRegs[ins.b])
+			r := fa + fb
+			fpRegs[ins.dst] = canonBits(r)
+		case isa.OpFSub:
+			fa := math.Float64frombits(fpRegs[ins.a])
+			fb := math.Float64frombits(fpRegs[ins.b])
+			r := fa - fb
+			fpRegs[ins.dst] = canonBits(r)
+		case isa.OpFMul:
+			fa := math.Float64frombits(fpRegs[ins.a])
+			fb := math.Float64frombits(fpRegs[ins.b])
+			r := fa * fb
+			fpRegs[ins.dst] = canonBits(r)
+		case isa.OpFDiv:
+			fa := math.Float64frombits(fpRegs[ins.a])
+			fb := math.Float64frombits(fpRegs[ins.b])
+			r := fa / fb
+			fpRegs[ins.dst] = canonBits(r)
+		case isa.OpFSqrt:
+			fa := math.Float64frombits(fpRegs[ins.a])
+			r := math.Sqrt(math.Abs(fa))
+			fpRegs[ins.dst] = canonBits(r)
+		case isa.OpFMov:
+			fpRegs[ins.dst] = fpRegs[ins.a]
+		case isa.OpFCvt:
+			fpRegs[ins.dst] = canonBits(float64(int64(intRegs[ins.a])))
+		case isa.OpFToI:
+			intRegs[ins.dst] = clampToInt64(math.Float64frombits(fpRegs[ins.a]))
+
+		case isa.OpLoad:
+			addr := (intRegs[ins.a] + uint64(ins.imm)) & mask &^ 7
+			intRegs[ins.dst] = binary.LittleEndian.Uint64(mem[addr:])
+		case isa.OpFLoad:
+			addr := (intRegs[ins.a] + uint64(ins.imm)) & mask &^ 7
+			fpRegs[ins.dst] = canonFPBits(binary.LittleEndian.Uint64(mem[addr:]))
+		case isa.OpStore:
+			addr := (intRegs[ins.a] + uint64(ins.imm)) & mask &^ 7
+			binary.LittleEndian.PutUint64(mem[addr:], intRegs[ins.b])
+		case isa.OpFStore:
+			addr := (intRegs[ins.a] + uint64(ins.imm)) & mask &^ 7
+			binary.LittleEndian.PutUint64(mem[addr:], fpRegs[ins.b])
+
+		case isa.OpBeq:
+			condBranches++
+			if intRegs[ins.a] == intRegs[ins.b] {
+				takenBranches++
+				nextPC = ins.target
+			}
+		case isa.OpBne:
+			condBranches++
+			if intRegs[ins.a] != intRegs[ins.b] {
+				takenBranches++
+				nextPC = ins.target
+			}
+		case isa.OpBlt:
+			condBranches++
+			if intRegs[ins.a] < intRegs[ins.b] {
+				takenBranches++
+				nextPC = ins.target
+			}
+		case isa.OpBge:
+			condBranches++
+			if intRegs[ins.a] >= intRegs[ins.b] {
+				takenBranches++
+				nextPC = ins.target
+			}
+		case isa.OpJmp:
+			nextPC = ins.target
+		case isa.OpHalt:
+			// Retire the halt, then stop.
+			retired++
+			classCounts[ins.class]++
+			goto done
+
+		case isa.OpVAdd:
+			va, vb := &m.vecRegs[ins.a], &m.vecRegs[ins.b]
+			vd := &m.vecRegs[ins.dst]
+			for l := 0; l < isa.VecLanes; l++ {
+				vd[l] = va[l] + vb[l]
+			}
+		case isa.OpVXor:
+			va, vb := &m.vecRegs[ins.a], &m.vecRegs[ins.b]
+			vd := &m.vecRegs[ins.dst]
+			for l := 0; l < isa.VecLanes; l++ {
+				vd[l] = va[l] ^ vb[l]
+			}
+		case isa.OpVMul:
+			va, vb := &m.vecRegs[ins.a], &m.vecRegs[ins.b]
+			vd := &m.vecRegs[ins.dst]
+			for l := 0; l < isa.VecLanes; l++ {
+				vd[l] = va[l] * vb[l]
+			}
+		case isa.OpVBcast:
+			v := intRegs[ins.a]
+			vd := &m.vecRegs[ins.dst]
+			for l := 0; l < isa.VecLanes; l++ {
+				vd[l] = v + uint64(l)
+			}
+		case isa.OpVRed:
+			va := &m.vecRegs[ins.a]
+			intRegs[ins.dst] = va[0] ^ va[1] ^ va[2] ^ va[3]
+		}
+
+		retired++
+		classCounts[ins.class]++
+
+		untilSnap--
+		if untilSnap == 0 {
+			res.Output = m.appendSnapshot(res.Output, retired)
+			res.Snapshots++
+			untilSnap = params.SnapshotInterval
+		}
+		pc = nextPC
+	}
+
+done:
+	// Final snapshot captures the terminal state (always emitted, so even
+	// an empty program contributes output).
+	res.Output = m.appendSnapshot(res.Output, retired)
+	res.Snapshots++
+	res.Retired = retired
+	res.Truncated = truncated
+	res.CondBranches = condBranches
+	res.TakenBranches = takenBranches
+	res.ClassCounts = classCounts
+}
+
+// runObserved is the instrumented interpreter loop: every retired
+// instruction is described to obs, including effective addresses and
+// branch outcomes. It retires exactly the architectural state
+// runUnobserved does.
+func (m *Machine) runObserved(params Params, obs Observer, res *Result) {
 	mask := uint64(m.memSize - 1)
 	var pc uint32
 	var retired uint64
@@ -339,10 +619,8 @@ func (m *Machine) Run(params Params, obs Observer) *Result {
 			// Retire the halt, then stop.
 			retired++
 			res.ClassCounts[ins.class]++
-			if obs != nil {
-				ev = Event{StaticID: pc, Op: ins.op, Class: ins.class}
-				obs.OnRetire(&ev)
-			}
+			ev = Event{StaticID: pc, Op: ins.op, Class: ins.class}
+			obs.OnRetire(&ev)
 			goto done
 
 		case isa.OpVAdd:
@@ -380,20 +658,18 @@ func (m *Machine) Run(params Params, obs Observer) *Result {
 
 		retired++
 		res.ClassCounts[ins.class]++
-		if obs != nil {
-			ev = Event{
-				StaticID: pc,
-				Op:       ins.op,
-				Class:    ins.class,
-				Dst:      ins.dst,
-				A:        ins.a,
-				B:        ins.b,
-				Addr:     addr,
-				IsMem:    isMem,
-				Taken:    taken,
-			}
-			obs.OnRetire(&ev)
+		ev = Event{
+			StaticID: pc,
+			Op:       ins.op,
+			Class:    ins.class,
+			Dst:      ins.dst,
+			A:        ins.a,
+			B:        ins.b,
+			Addr:     addr,
+			IsMem:    isMem,
+			Taken:    taken,
 		}
+		obs.OnRetire(&ev)
 
 		untilSnap--
 		if untilSnap == 0 {
@@ -405,13 +681,10 @@ func (m *Machine) Run(params Params, obs Observer) *Result {
 	}
 
 done:
-	// Final snapshot captures the terminal state (always emitted, so even
-	// an empty program contributes output).
 	res.Output = m.appendSnapshot(res.Output, retired)
 	res.Snapshots++
 	res.Retired = retired
 	res.Truncated = truncated
-	return res
 }
 
 // appendSnapshot serializes the architectural register state.
