@@ -7,12 +7,16 @@
 //	hcbench -run all            # everything (minutes)
 //	hcbench -run fig2 -n 1000   # just Figure 2 at the paper's N
 //	hcbench -run vm             # hash-pipeline microbenchmark -> BENCH_vm.json
-//	hcbench -run table1|fig1|fig2|fig3|sizes|noise|genvssel|randomx|baselines|mine|vm
+//	hcbench -run pool           # share-verification throughput -> BENCH_pool.json
+//	hcbench -run table1|fig1|fig2|fig3|sizes|noise|genvssel|randomx|baselines|mine|vm|pool
 //
 // The vm experiment measures the production hashing path (pooled
 // sessions, unobserved interpreter loop) and writes a machine-readable
 // BENCH_vm.json — hashes/sec, ns/hash, allocs/hash, B/hash — so the
-// performance trajectory is tracked across PRs.
+// performance trajectory is tracked across PRs. The pool experiment does
+// the same for the mining-pool server's share-verification pipeline
+// (shares/sec through dedupe, session hashing and accounting),
+// writing BENCH_pool.json.
 package main
 
 import (
@@ -28,21 +32,24 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (all, table1, fig1, fig2, fig3, sizes, noise, genvssel, predictors, randomx, baselines, mine, vm)")
+	run := flag.String("run", "all", "experiment to run (all, table1, fig1, fig2, fig3, sizes, noise, genvssel, predictors, randomx, baselines, mine, vm, pool)")
 	n := flag.Int("n", 1000, "widget population size for fig2/fig3/sizes/noise")
 	profileName := flag.String("profile", "leela", "reference workload profile")
 	seed := flag.Uint64("seed", 2019, "master seed for widget seeds")
 	benchN := flag.Int("benchn", 200, "hash evaluations for the vm benchmark")
 	benchOut := flag.String("benchout", "BENCH_vm.json", "output path for the vm benchmark JSON")
+	poolN := flag.Int("pooln", 256, "shares for the pool verification benchmark")
+	poolWorkers := flag.Int("poolworkers", 0, "verification workers for the pool benchmark (0 = GOMAXPROCS)")
+	poolOut := flag.String("poolout", "BENCH_pool.json", "output path for the pool benchmark JSON")
 	flag.Parse()
 
-	if err := dispatch(*run, *n, *profileName, *seed, *benchN, *benchOut); err != nil {
+	if err := dispatch(*run, *n, *profileName, *seed, *benchN, *benchOut, *poolN, *poolWorkers, *poolOut); err != nil {
 		fmt.Fprintln(os.Stderr, "hcbench:", err)
 		os.Exit(1)
 	}
 }
 
-func dispatch(run string, n int, profileName string, seed uint64, benchN int, benchOut string) error {
+func dispatch(run string, n int, profileName string, seed uint64, benchN int, benchOut string, poolN, poolWorkers int, poolOut string) error {
 	wants := map[string]bool{}
 	for _, name := range strings.Split(run, ",") {
 		wants[strings.TrimSpace(name)] = true
@@ -139,6 +146,12 @@ func dispatch(run string, n int, profileName string, seed uint64, benchN int, be
 	if all || wants["vm"] {
 		fmt.Println("== Hash pipeline microbenchmark ==")
 		if err := runVMBench(profileName, benchN, benchOut); err != nil {
+			return err
+		}
+	}
+	if all || wants["pool"] {
+		fmt.Println("== Pool share-verification throughput ==")
+		if err := runPoolBench(profileName, poolN, poolWorkers, poolOut); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"hashcore"
+	"hashcore/internal/blockchain"
+	"hashcore/internal/pool"
+	"hashcore/internal/pow"
+)
+
+// PoolBenchReport is the machine-readable record of one share-verification
+// benchmark run: how many shares per second the pool's server-side
+// pipeline (dedupe, session hash, target check, accounting) sustains.
+type PoolBenchReport struct {
+	Profile    string  `json:"profile"`
+	Shares     int     `json:"shares"`
+	Workers    int     `json:"workers"`
+	QueueDepth int     `json:"queue_depth"`
+	GoVersion  string  `json:"go_version"`
+	GOARCH     string  `json:"goarch"`
+	Timestamp  string  `json:"timestamp"`
+	SharesPerS float64 `json:"shares_per_sec"`
+	NsPerShare float64 `json:"ns_per_share"`
+	Accepted   uint64  `json:"accepted"`
+}
+
+// benchSource is a fixed-difficulty TemplateSource so the benchmark
+// exercises verification, not chain mechanics.
+type benchSource struct {
+	mu   sync.Mutex
+	bits uint32
+	t    uint64
+}
+
+func (s *benchSource) Template() (blockchain.Header, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.t++
+	return blockchain.Header{Version: 1, Time: s.t, Bits: s.bits}, 1, nil
+}
+
+func (s *benchSource) SubmitBlock(blockchain.Header) error { return nil }
+
+// runPoolBench measures server-side share-verification throughput: n
+// distinct shares against a near-free share target (so every one takes
+// the full accept path — seen-set, session hash, target check, ledger)
+// through a verification pipeline sized like hcpoold's default.
+func runPoolBench(profileName string, n, workers int, outPath string) error {
+	if n < 1 {
+		n = 1
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	h, err := hashcore.New(hashcore.WithProfile(profileName))
+	if err != nil {
+		return err
+	}
+
+	// Block target of zero (impossible) keeps the block path quiet; the
+	// share target accepts essentially every digest.
+	shareBits := pow.TargetToCompact(pow.Target(hashcore.TargetWithZeroBits(0)))
+	jm, err := pool.NewJobManager(&benchSource{bits: 0x01000001}, shareBits, 1<<30, 2)
+	if err != nil {
+		return err
+	}
+	job, err := jm.Refresh(true)
+	if err != nil {
+		return err
+	}
+	acct := pool.NewAccounting()
+	validator := pool.NewShareValidator(jm, pool.NewSeenSet(1<<16), acct, nil)
+	queueDepth := 256
+	pipe := pool.NewPipeline(validator, pool.WrapHasher(h), workers, queueDepth)
+
+	// Warm the sessions past their allocation high-water marks.
+	var warm sync.WaitGroup
+	for i := 0; i < workers*4; i++ {
+		warm.Add(1)
+		if err := pipe.Submit(context.Background(), "warm", job.ID, uint64(1<<40)+uint64(i), func(pool.ShareResult) { warm.Done() }); err != nil {
+			return err
+		}
+	}
+	warm.Wait()
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := pipe.Submit(context.Background(), "bench", job.ID, uint64(i), func(pool.ShareResult) { wg.Done() }); err != nil {
+			return err
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	pipe.Close()
+
+	var accepted uint64
+	for _, m := range acct.Snapshot() {
+		if m.Miner == "bench" {
+			accepted = m.Accepted
+		}
+	}
+	rep := PoolBenchReport{
+		Profile:    profileName,
+		Shares:     n,
+		Workers:    workers,
+		QueueDepth: queueDepth,
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		Timestamp:  start.UTC().Format(time.RFC3339),
+		SharesPerS: float64(n) / elapsed.Seconds(),
+		NsPerShare: float64(elapsed.Nanoseconds()) / float64(n),
+		Accepted:   accepted,
+	}
+	fmt.Printf("profile=%s shares=%d workers=%d  %.1f shares/s  %.0f ns/share  (%d accepted)\n",
+		rep.Profile, rep.Shares, rep.Workers, rep.SharesPerS, rep.NsPerShare, rep.Accepted)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", outPath, err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

@@ -1,0 +1,83 @@
+// Command hcminer is a remote pool miner: it subscribes to an hcpoold
+// server, mines each assigned nonce window with the HashCore hasher, and
+// submits the shares it finds.
+//
+// Usage:
+//
+//	hcminer [-pool 127.0.0.1:3333] [-name worker1] [-workers N] [-profile leela]
+//
+// Run several instances (distinct -name values) against one hcpoold to
+// watch the pool's per-miner accounting and hashrate estimates at its
+// /stats endpoint. Stop with SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"hashcore"
+	"hashcore/internal/pool"
+)
+
+func main() {
+	poolAddr := flag.String("pool", "127.0.0.1:3333", "pool server address")
+	name := flag.String("name", "", "miner name for pool accounting (default server-assigned)")
+	workers := flag.Int("workers", runtime.NumCPU(), "mining worker goroutines")
+	profileName := flag.String("profile", "leela", "reference workload profile")
+	quiet := flag.Bool("quiet", false, "suppress per-share output")
+	flag.Parse()
+
+	if err := run(*poolAddr, *name, *profileName, *workers, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "hcminer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(poolAddr, name, profileName string, workers int, quiet bool) error {
+	h, err := hashcore.New(hashcore.WithProfile(profileName))
+	if err != nil {
+		return err
+	}
+
+	cfg := pool.ClientConfig{
+		Addr:      poolAddr,
+		MinerName: name,
+		Agent:     "hcminer/1 " + h.Name(),
+		Workers:   workers,
+	}
+	if !quiet {
+		cfg.OnJob = func(j pool.JobNotify) {
+			fmt.Printf("hcminer: job %s height %d nonces [%d, %d)\n",
+				j.ID, j.Height, j.NonceStart, j.NonceEnd)
+		}
+		cfg.OnResult = func(r pool.ShareResult) {
+			if r.Status.Accepted() {
+				fmt.Printf("hcminer: share accepted (job %s nonce %d, %s)\n", r.JobID, r.Nonce, r.Status)
+			} else {
+				fmt.Printf("hcminer: share rejected: %s (%s)\n", r.Status, r.Reason)
+			}
+		}
+	}
+
+	client, err := pool.Dial(cfg, h)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hcminer: mining %s for pool %s with %d workers\n", h.Name(), poolAddr, workers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = client.Run(ctx)
+	st := client.Stats()
+	fmt.Printf("hcminer: done — %d jobs, %d submitted, %d accepted (%d blocks), %d rejected\n",
+		st.Jobs, st.Submitted, st.Accepted, st.Blocks, st.Rejected)
+	if err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}

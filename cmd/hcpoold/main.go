@@ -1,0 +1,100 @@
+// Command hcpoold runs a HashCore mining-pool server: it templates jobs
+// off an in-process blockchain, fans them out to subscribed miners with
+// per-subscriber nonce ranges, verifies submitted shares on a bounded
+// pool of hashing sessions, and serves accounting at /stats.
+//
+// Usage:
+//
+//	hcpoold [-addr 127.0.0.1:3333] [-http 127.0.0.1:3334]
+//	        [-share-zero-bits 10] [-block-zero-bits 14]
+//	        [-profile leela] [-verify-workers N] [-refresh 10s]
+//
+// Demo-scale defaults: the block target expects ~16k hash evaluations
+// and a share ~1k, so a few hcminer processes on the same machine find
+// shares every few seconds. Stop with SIGINT/SIGTERM for a graceful
+// drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hashcore"
+	"hashcore/internal/blockchain"
+	"hashcore/internal/pool"
+	"hashcore/internal/pow"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:3333", "miner-protocol listen address")
+	httpAddr := flag.String("http", "127.0.0.1:3334", "HTTP /stats listen address (empty disables)")
+	profileName := flag.String("profile", "leela", "reference workload profile")
+	shareZeroBits := flag.Uint("share-zero-bits", 10, "pool share target: leading zero bits (~2^n hashes per share)")
+	blockZeroBits := flag.Uint("block-zero-bits", 14, "network block target: leading zero bits")
+	verifyWorkers := flag.Int("verify-workers", 0, "share-verification workers (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 256, "submit queue bound (backpressure threshold)")
+	rangeSize := flag.Uint64("range", pool.DefaultRangeSize, "nonce window per subscriber per job")
+	refresh := flag.Duration("refresh", 10*time.Second, "job refresh period (negative disables)")
+	name := flag.String("name", "hcpool", "pool name")
+	flag.Parse()
+
+	if err := run(*addr, *httpAddr, *profileName, *name, uint(*shareZeroBits), uint(*blockZeroBits),
+		*verifyWorkers, *queueDepth, *rangeSize, *refresh); err != nil {
+		fmt.Fprintln(os.Stderr, "hcpoold:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, httpAddr, profileName, name string, shareZeroBits, blockZeroBits uint,
+	verifyWorkers, queueDepth int, rangeSize uint64, refresh time.Duration) error {
+	h, err := hashcore.New(hashcore.WithProfile(profileName))
+	if err != nil {
+		return err
+	}
+
+	params := blockchain.DefaultParams()
+	params.GenesisBits = pow.TargetToCompact(pow.Target(hashcore.TargetWithZeroBits(blockZeroBits)))
+	chain, err := blockchain.NewChain(params, h)
+	if err != nil {
+		return err
+	}
+
+	srv, err := pool.NewServer(pool.Config{
+		Addr:            addr,
+		HTTPAddr:        httpAddr,
+		PoolName:        name,
+		ShareBits:       pow.TargetToCompact(pow.Target(hashcore.TargetWithZeroBits(shareZeroBits))),
+		RangeSize:       rangeSize,
+		VerifyWorkers:   verifyWorkers,
+		QueueDepth:      queueDepth,
+		RefreshInterval: refresh,
+	}, pool.WrapHasher(h), pool.NewChainSource(chain, name))
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("hcpoold: serving %s on %s", h.Name(), srv.Addr())
+	if sa := srv.StatsAddr(); sa != "" {
+		fmt.Printf(", stats at http://%s/stats", sa)
+	}
+	fmt.Println()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("hcpoold: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Printf("hcpoold: done (%d blocks solved)\n", srv.Blocks())
+	return nil
+}

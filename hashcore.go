@@ -300,12 +300,27 @@ type sessionAdapter struct {
 func (a sessionAdapter) Hash(header []byte) ([32]byte, error) { return a.s.Hash(header) }
 func (a sessionAdapter) Name() string                         { return a.name }
 
+// ErrExhausted is returned by MineRange when the attempt budget was spent
+// without finding a valid digest.
+var ErrExhausted = pow.ErrExhausted
+
 // Mine searches for a nonce such that Hash(prefix || nonce_le64) meets the
 // target, using the given number of worker goroutines. It returns early
 // with ctx.Err() on cancellation.
 func (h *Hasher) Mine(ctx context.Context, prefix []byte, target [32]byte, workers int) (MineResult, error) {
+	return h.MineRange(ctx, prefix, target, workers, 0, 0)
+}
+
+// MineRange is Mine with an explicit nonce window: the search starts at
+// start and evaluates at most maxAttempts nonces (0 means unbounded),
+// returning ErrExhausted when the budget is spent without a hit. This is
+// how a pool miner works its assigned slice of the nonce space: with
+// budget end-start the search stays (approximately, up to worker stride
+// at the window edge) within [start, end). Result.Attempts is the exact
+// number of hash evaluations performed.
+func (h *Hasher) MineRange(ctx context.Context, prefix []byte, target [32]byte, workers int, start, maxAttempts uint64) (MineResult, error) {
 	miner := pow.NewMiner(powAdapter{h}, workers)
-	res, err := miner.Mine(ctx, prefix, pow.Target(target), 0, 0)
+	res, err := miner.Mine(ctx, prefix, pow.Target(target), start, maxAttempts)
 	if err != nil {
 		return MineResult{}, err
 	}

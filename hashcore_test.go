@@ -2,6 +2,7 @@ package hashcore
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -148,6 +149,41 @@ func TestMineAndVerifyNonce(t *testing.T) {
 	}
 	if ok {
 		t.Fatal("wrong nonce verified (very unlikely)")
+	}
+}
+
+func TestMineRangeRespectsWindow(t *testing.T) {
+	h, err := New(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An impossible target with a small budget must spend exactly the
+	// budget and report exhaustion — the contract a pool client's
+	// assigned nonce window relies on.
+	var impossible [32]byte
+	const budget = 40
+	_, err = h.MineRange(context.Background(), []byte("win"), impossible, 2, 1000, budget)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+
+	// A findable target inside the window: the nonce must come from at or
+	// after the window start, and the result must verify.
+	target := TargetWithZeroBits(4) // ~16 expected attempts
+	const start = 1 << 20
+	res, err := h.MineRange(context.Background(), []byte("win"), target, 2, start, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nonce < start {
+		t.Errorf("nonce %d below window start %d", res.Nonce, start)
+	}
+	ok, err := h.VerifyNonce([]byte("win"), res.Nonce, target)
+	if err != nil || !ok {
+		t.Fatalf("windowed nonce failed verification: ok=%v err=%v", ok, err)
+	}
+	if res.Attempts == 0 {
+		t.Error("no attempts recorded")
 	}
 }
 

@@ -1,0 +1,140 @@
+package pool
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// MinerStats is one miner's share ledger.
+type MinerStats struct {
+	Accepted  uint64 `json:"accepted"`
+	Blocks    uint64 `json:"blocks"`
+	Stale     uint64 `json:"stale"`
+	Duplicate uint64 `json:"duplicate"`
+	LowDiff   uint64 `json:"low_diff"`
+	Invalid   uint64 `json:"invalid"`
+	// ShareWork is the expected number of hash evaluations the accepted
+	// shares represent (sum of per-share target work).
+	ShareWork float64 `json:"share_work"`
+	// Hashrate is the estimated hashes/sec implied by ShareWork over the
+	// miner's active window. Zero until the first accepted share.
+	Hashrate float64 `json:"hashrate"`
+
+	firstAccepted time.Time
+	lastAccepted  time.Time
+}
+
+// Accounting tracks per-miner share statistics. Safe for concurrent use.
+type Accounting struct {
+	mu     sync.Mutex
+	miners map[string]*MinerStats
+	now    func() time.Time
+}
+
+// NewAccounting creates an empty ledger.
+func NewAccounting() *Accounting {
+	return &Accounting{miners: make(map[string]*MinerStats), now: time.Now}
+}
+
+// Record books one share verdict for miner. work is the expected hash
+// evaluations an accepted share of its job represents (Job.ShareWork);
+// it is ignored for non-accepted statuses.
+func (a *Accounting) Record(miner string, status ShareStatus, work float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.miners[miner]
+	if !ok {
+		st = &MinerStats{}
+		a.miners[miner] = st
+	}
+	switch status {
+	case StatusAccepted, StatusBlock:
+		now := a.now()
+		if st.Accepted == 0 {
+			st.firstAccepted = now
+		}
+		st.lastAccepted = now
+		st.Accepted++
+		st.ShareWork += work
+		if status == StatusBlock {
+			st.Blocks++
+		}
+	case StatusStale:
+		st.Stale++
+	case StatusDuplicate:
+		st.Duplicate++
+	case StatusLowDiff:
+		st.LowDiff++
+	default:
+		st.Invalid++
+	}
+}
+
+// hashrateLocked estimates hashes/sec from the accepted-share work over
+// the window from the first accepted share to now. The window is floored
+// at one second so a lone early share does not read as an absurd rate.
+func (st *MinerStats) hashrate(now time.Time) float64 {
+	if st.Accepted == 0 {
+		return 0
+	}
+	elapsed := now.Sub(st.firstAccepted).Seconds()
+	if elapsed < 1 {
+		elapsed = 1
+	}
+	return st.ShareWork / elapsed
+}
+
+// Hashrate returns the current hashrate estimate for miner (0 if
+// unknown).
+func (a *Accounting) Hashrate(miner string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.miners[miner]
+	if !ok {
+		return 0
+	}
+	return st.hashrate(a.now())
+}
+
+// MinerSnapshot pairs a miner name with a copy of its stats.
+type MinerSnapshot struct {
+	Miner string `json:"miner"`
+	MinerStats
+}
+
+// Snapshot returns a copy of every miner's stats, hashrate filled in,
+// sorted by name for stable output.
+func (a *Accounting) Snapshot() []MinerSnapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	out := make([]MinerSnapshot, 0, len(a.miners))
+	for name, st := range a.miners {
+		cp := *st
+		cp.Hashrate = st.hashrate(now)
+		out = append(out, MinerSnapshot{Miner: name, MinerStats: cp})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Miner < out[j].Miner })
+	return out
+}
+
+// Totals sums all miners' counters into one MinerStats (hashrate is the
+// sum of per-miner estimates).
+func (a *Accounting) Totals() MinerStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	var t MinerStats
+	for _, st := range a.miners {
+		t.Accepted += st.Accepted
+		t.Blocks += st.Blocks
+		t.Stale += st.Stale
+		t.Duplicate += st.Duplicate
+		t.LowDiff += st.LowDiff
+		t.Invalid += st.Invalid
+		t.ShareWork += st.ShareWork
+		t.Hashrate += st.hashrate(now)
+	}
+	return t
+}

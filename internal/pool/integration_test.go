@@ -1,0 +1,210 @@
+package pool
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"hashcore"
+	"hashcore/internal/blockchain"
+)
+
+// TestIntegrationShareOverTCP runs the whole deployment loop at demo
+// difficulty: a pool server templated off a real blockchain.Chain, a
+// pool client driving the real HashCore miner over a real TCP socket,
+// and a share accepted by the session-backed verification pipeline —
+// then checks the ledger both in-process and through the HTTP /stats
+// endpoint.
+func TestIntegrationShareOverTCP(t *testing.T) {
+	h, err := hashcore.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Demo difficulty: 4 zero bits for the block (~16 expected hashes),
+	// 2 for a share (~4) — widget-backed hashing is ~ms per evaluation.
+	params := blockchain.DefaultParams()
+	params.GenesisBits = zeroBitsCompact(4)
+	chain, err := blockchain.NewChain(params, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := NewServer(Config{
+		Addr:            "127.0.0.1:0",
+		HTTPAddr:        "127.0.0.1:0",
+		PoolName:        "itest-pool",
+		ShareBits:       zeroBitsCompact(2),
+		RangeSize:       1 << 20,
+		VerifyWorkers:   2,
+		QueueDepth:      16,
+		RefreshInterval: -1, // only explicit refreshes; keeps the test deterministic
+		Logf:            t.Logf,
+	}, WrapHasher(h), NewChainSource(chain, "itest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	results := make(chan ShareResult, 64)
+	client, err := Dial(ClientConfig{
+		Addr:      srv.Addr(),
+		MinerName: "itest-miner",
+		Agent:     "pool_test/1",
+		Workers:   2,
+		OnResult:  func(r ShareResult) { results <- r },
+	}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	clientDone := make(chan error, 1)
+	go func() { clientDone <- client.Run(ctx) }()
+
+	// Wait for a share to make the full trip: client mines its window,
+	// submits over the socket, a verification worker re-hashes it, the
+	// verdict comes back.
+	deadline := time.After(120 * time.Second)
+	var accepted ShareResult
+waitAccept:
+	for {
+		select {
+		case r := <-results:
+			if r.Status.Accepted() {
+				accepted = r
+				break waitAccept
+			}
+			t.Logf("non-accepted verdict along the way: %s (%s)", r.Status, r.Reason)
+		case err := <-clientDone:
+			t.Fatalf("client exited early: %v", err)
+		case <-deadline:
+			t.Fatal("no accepted share within deadline")
+		}
+	}
+	if accepted.JobID == "" {
+		t.Error("accepted verdict missing job ID")
+	}
+
+	// The ledger must agree with the wire verdict.
+	if hr := srv.Accounting().Hashrate("itest-miner"); hr <= 0 {
+		t.Errorf("hashrate estimate = %v, want > 0 after an accepted share", hr)
+	}
+
+	// And the /stats endpoint must serve the same picture over HTTP.
+	resp, err := http.Get(fmt.Sprintf("http://%s/stats", srv.StatsAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsReply
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pool != "itest-pool" {
+		t.Errorf("stats pool = %q", stats.Pool)
+	}
+	if stats.Totals.Accepted < 1 {
+		t.Errorf("stats accepted = %d, want >= 1", stats.Totals.Accepted)
+	}
+	found := false
+	for _, m := range stats.Miners {
+		if m.Miner == "itest-miner" && m.Accepted >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("miner missing from /stats: %+v", stats.Miners)
+	}
+
+	// Client statistics saw the same accepted share.
+	if st := client.Stats(); st.Accepted < 1 || st.Jobs < 1 {
+		t.Errorf("client stats = %+v, want >= 1 job and accepted share", st)
+	}
+
+	cancel()
+	if err := <-clientDone; err != nil && err != context.Canceled {
+		t.Errorf("client exit: %v", err)
+	}
+}
+
+// TestIntegrationBlockSolvedAdvancesChain sets share target == block
+// target so the first accepted share solves a block, and checks it lands
+// on the chain and produces a clean job at the next height.
+func TestIntegrationBlockSolvedAdvancesChain(t *testing.T) {
+	h, err := hashcore.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := blockchain.DefaultParams()
+	params.GenesisBits = zeroBitsCompact(2) // ~4 expected hashes per block
+	chain, err := blockchain.NewChain(params, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewChainSource(chain, "itest-block")
+
+	srv, err := NewServer(Config{
+		Addr:            "127.0.0.1:0",
+		ShareBits:       zeroBitsCompact(2),
+		VerifyWorkers:   2,
+		RefreshInterval: -1,
+		Logf:            t.Logf,
+	}, WrapHasher(h), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	results := make(chan ShareResult, 64)
+	client, err := Dial(ClientConfig{
+		Addr:      srv.Addr(),
+		MinerName: "blocksmith",
+		Workers:   2,
+		OnResult:  func(r ShareResult) { results <- r },
+	}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	clientDone := make(chan error, 1)
+	go func() { clientDone <- client.Run(ctx) }()
+
+	deadline := time.After(120 * time.Second)
+	for srv.Blocks() == 0 {
+		select {
+		case r := <-results:
+			t.Logf("verdict: %s (%s)", r.Status, r.Reason)
+		case err := <-clientDone:
+			t.Fatalf("client exited early: %v", err)
+		case <-deadline:
+			t.Fatal("no block solved within deadline")
+		}
+	}
+	if src.Height() < 1 {
+		t.Errorf("chain height = %d, want >= 1 after a solved block", src.Height())
+	}
+	cancel()
+	<-clientDone
+}

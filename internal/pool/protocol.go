@@ -1,0 +1,154 @@
+// Package pool is a mining-pool service for the HashCore PoW: a job
+// manager that builds work templates from a blockchain tip and fans them
+// out with per-subscriber nonce ranges, a share-verification pipeline
+// running a bounded pool of hashing sessions, per-miner accounting, and a
+// newline-delimited JSON-over-TCP protocol (a stratum-like dialect) with
+// an HTTP /stats endpoint. The client half subscribes to a pool server
+// and drives a miner over its assigned nonce window.
+//
+// This is the deployment shape the paper assumes: many small
+// general-purpose machines coordinating through a pool, with server-side
+// share verification — one full hash evaluation per share — as the
+// throughput bottleneck. The verification pipeline therefore reuses the
+// zero-allocation session architecture (DESIGN.md §3): each verification
+// worker holds a private hashing session for its whole lifetime.
+package pool
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol message types. Every wire message is one JSON object on one
+// line ("\n"-terminated), carrying a "type" field that selects which of
+// the Envelope's sections is populated.
+const (
+	// TypeSubscribe registers a miner on the connection (client → server).
+	TypeSubscribe = "subscribe"
+	// TypeSubscribed acknowledges a subscription (server → client).
+	TypeSubscribed = "subscribed"
+	// TypeNotify announces a job with the subscriber's assigned nonce
+	// range (server → client).
+	TypeNotify = "notify"
+	// TypeSetTarget announces a new pool share target that applies to all
+	// subsequent jobs (server → client).
+	TypeSetTarget = "set_target"
+	// TypeSubmit submits a share (client → server).
+	TypeSubmit = "submit"
+	// TypeResult reports a share verdict (server → client).
+	TypeResult = "result"
+	// TypeError reports a protocol-level error (server → client).
+	TypeError = "error"
+)
+
+// ShareStatus classifies a submitted share.
+type ShareStatus string
+
+const (
+	// StatusAccepted: the share met the pool share target.
+	StatusAccepted ShareStatus = "accepted"
+	// StatusBlock: the share additionally met the network block target and
+	// solved a block. Counted as accepted in miner statistics.
+	StatusBlock ShareStatus = "block"
+	// StatusStale: the share references a job the pool no longer accepts
+	// (expired, or invalidated by a new chain tip).
+	StatusStale ShareStatus = "stale"
+	// StatusDuplicate: the (job, nonce) pair was already submitted.
+	StatusDuplicate ShareStatus = "duplicate"
+	// StatusLowDiff: the digest does not meet the pool share target.
+	StatusLowDiff ShareStatus = "low_diff"
+	// StatusInvalid: the submission was malformed or hashing failed.
+	StatusInvalid ShareStatus = "invalid"
+)
+
+// Accepted reports whether the status credits the miner with work.
+func (s ShareStatus) Accepted() bool {
+	return s == StatusAccepted || s == StatusBlock
+}
+
+// JobNotify is the job description a notify message carries. The nonce
+// range is this subscriber's slice of the search space — advisory work
+// splitting, not an admission rule: the server verifies any nonce, and
+// ranges exist so honest subscribers do not duplicate each other's work.
+type JobNotify struct {
+	// ID names the job in submits. IDs are never reused within a server
+	// lifetime.
+	ID string `json:"id"`
+	// Prefix is the hex-encoded serialized block header minus its trailing
+	// 8-byte nonce; hashing input is prefix || nonce_le64.
+	Prefix string `json:"prefix"`
+	// ShareBits is the compact pool share target for this job.
+	ShareBits uint32 `json:"share_bits"`
+	// BlockBits is the compact network target the block itself needs.
+	BlockBits uint32 `json:"block_bits"`
+	// NonceStart and NonceEnd delimit the subscriber's assigned window
+	// [NonceStart, NonceEnd).
+	NonceStart uint64 `json:"nonce_start"`
+	NonceEnd   uint64 `json:"nonce_end"`
+	// Height is the chain height the job's block would occupy.
+	Height int `json:"height"`
+	// Clean tells the subscriber to abandon earlier jobs: their shares
+	// will be judged stale (the chain tip moved).
+	Clean bool `json:"clean"`
+}
+
+// Envelope is the wire representation of every protocol message. Unused
+// sections are omitted from the encoding.
+type Envelope struct {
+	Type string `json:"type"`
+
+	// subscribe
+	Miner string `json:"miner,omitempty"`
+	Agent string `json:"agent,omitempty"`
+
+	// subscribed
+	Session string `json:"session,omitempty"`
+	Pool    string `json:"pool,omitempty"`
+	Hasher  string `json:"hasher,omitempty"`
+
+	// notify
+	Job *JobNotify `json:"job,omitempty"`
+
+	// set_target
+	Bits uint32 `json:"bits,omitempty"`
+
+	// submit / result. Nonce is deliberately not omitempty: nonce 0 is a
+	// legal share.
+	JobID  string      `json:"job_id,omitempty"`
+	Nonce  uint64      `json:"nonce"`
+	Status ShareStatus `json:"status,omitempty"`
+	Reason string      `json:"reason,omitempty"`
+
+	// error
+	Error string `json:"error,omitempty"`
+}
+
+// MaxLineBytes bounds one protocol line. Headers are ~100 bytes hex, so
+// this is generous; it exists to stop a misbehaving peer from ballooning
+// the read buffer.
+const MaxLineBytes = 1 << 16
+
+// ErrLineTooLong is returned when a peer sends an oversized line.
+var ErrLineTooLong = errors.New("pool: protocol line exceeds limit")
+
+// writeMsg encodes env as one NDJSON line to w. json.Encoder.Encode
+// appends the newline itself.
+func writeMsg(w io.Writer, env *Envelope) error {
+	return json.NewEncoder(w).Encode(env)
+}
+
+// readMsg decodes one NDJSON line into an Envelope. The reader must be a
+// line-framed source (see lineReader); a decode error poisons only the
+// offending line.
+func parseMsg(line []byte) (Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return Envelope{}, fmt.Errorf("pool: malformed message: %w", err)
+	}
+	if env.Type == "" {
+		return Envelope{}, errors.New("pool: message missing type")
+	}
+	return env, nil
+}

@@ -1,0 +1,102 @@
+package pool
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// seenShards is the shard count of a SeenSet. A power of two so shard
+// selection is a mask; 16 shards keep lock contention negligible next to
+// the millisecond-scale hash evaluation each share costs anyway.
+const seenShards = 16
+
+// SeenSet is a sharded, fixed-capacity set of recently seen share keys,
+// used to reject duplicate (job, nonce) submissions before they reach the
+// expensive hashing stage. Each shard holds an insertion-ordered ring:
+// when a shard is full the oldest key is evicted, so memory is bounded
+// regardless of share volume. Keys are 64-bit hashes of (job ID, nonce);
+// a hash collision falsely flagging a fresh share as duplicate needs
+// ~2^32 live keys by birthday bound — far beyond any retention window
+// here — and costs one share, not consensus.
+type SeenSet struct {
+	shards [seenShards]seenShard
+}
+
+type seenShard struct {
+	mu   sync.Mutex
+	m    map[uint64]struct{}
+	ring []uint64
+	n    int // filled entries in ring
+	next int // ring index of the oldest entry / next eviction slot
+}
+
+// NewSeenSet creates a set holding at most capacity keys in total
+// (rounded up to at least one per shard).
+func NewSeenSet(capacity int) *SeenSet {
+	per := capacity / seenShards
+	if per < 1 {
+		per = 1
+	}
+	s := &SeenSet{}
+	for i := range s.shards {
+		s.shards[i] = seenShard{
+			m:    make(map[uint64]struct{}, per),
+			ring: make([]uint64, per),
+		}
+	}
+	return s
+}
+
+// CheckAndAdd reports whether key was already present, inserting it if
+// not. The check and insert are atomic with respect to other callers, so
+// two racing submissions of the same share serialize into one fresh and
+// one duplicate.
+func (s *SeenSet) CheckAndAdd(key uint64) (dup bool) {
+	sh := &s.shards[key&(seenShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[key]; ok {
+		return true
+	}
+	if sh.n == len(sh.ring) {
+		delete(sh.m, sh.ring[sh.next])
+	} else {
+		sh.n++
+	}
+	sh.ring[sh.next] = key
+	sh.next = (sh.next + 1) % len(sh.ring)
+	sh.m[key] = struct{}{}
+	return false
+}
+
+// Len returns the number of keys currently held.
+func (s *SeenSet) Len() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += sh.n
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// shareKey hashes a (job ID, nonce) pair to a SeenSet key (FNV-1a).
+func shareKey(jobID string, nonce uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(jobID); i++ {
+		h ^= uint64(jobID[i])
+		h *= prime64
+	}
+	var nb [8]byte
+	binary.LittleEndian.PutUint64(nb[:], nonce)
+	for _, b := range nb {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,84 @@
+package pool
+
+import "testing"
+
+func TestSeenSetCheckAndAdd(t *testing.T) {
+	s := NewSeenSet(1024)
+	if s.CheckAndAdd(42) {
+		t.Fatal("fresh key reported as duplicate")
+	}
+	if !s.CheckAndAdd(42) {
+		t.Fatal("repeated key reported as fresh")
+	}
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+func TestSeenSetEvictsOldest(t *testing.T) {
+	// Capacity 16 with 16 shards → one slot per shard. Keys 0 and 16 land
+	// in shard 0 (key & 15), so inserting 16 must evict 0.
+	s := NewSeenSet(16)
+	if s.CheckAndAdd(0) {
+		t.Fatal("fresh key 0 reported duplicate")
+	}
+	if s.CheckAndAdd(16) {
+		t.Fatal("fresh key 16 reported duplicate")
+	}
+	if s.CheckAndAdd(0) {
+		t.Fatal("key 0 should have been evicted by key 16")
+	}
+	if !s.CheckAndAdd(0) {
+		t.Fatal("key 0 reinserted but not found")
+	}
+}
+
+func TestSeenSetBoundedMemory(t *testing.T) {
+	const capacity = 256
+	s := NewSeenSet(capacity)
+	for k := uint64(0); k < 100_000; k++ {
+		s.CheckAndAdd(k)
+	}
+	if got := s.Len(); got > capacity {
+		t.Fatalf("Len = %d exceeds capacity %d", got, capacity)
+	}
+}
+
+func TestSeenSetConcurrent(t *testing.T) {
+	s := NewSeenSet(1 << 12)
+	const workers = 8
+	done := make(chan int, workers)
+	// All workers race to insert the same key space; each key must be
+	// claimed by exactly one worker.
+	for w := 0; w < workers; w++ {
+		go func() {
+			fresh := 0
+			for k := uint64(0); k < 512; k++ {
+				if !s.CheckAndAdd(k) {
+					fresh++
+				}
+			}
+			done <- fresh
+		}()
+	}
+	total := 0
+	for w := 0; w < workers; w++ {
+		total += <-done
+	}
+	if total != 512 {
+		t.Fatalf("claimed keys = %d, want exactly 512", total)
+	}
+}
+
+func TestShareKeyDistinguishes(t *testing.T) {
+	a := shareKey("1", 7)
+	if b := shareKey("1", 8); a == b {
+		t.Error("nonce change did not change the key")
+	}
+	if b := shareKey("2", 7); a == b {
+		t.Error("job change did not change the key")
+	}
+	if b := shareKey("1", 7); a != b {
+		t.Error("shareKey is not deterministic")
+	}
+}

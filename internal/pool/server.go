@@ -1,0 +1,570 @@
+package pool
+
+import (
+	"bufio"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a pool server. Zero values select the documented
+// defaults.
+type Config struct {
+	// Addr is the TCP listen address for the miner protocol, e.g.
+	// "127.0.0.1:3333". Use port 0 to let the OS pick (tests).
+	Addr string
+	// HTTPAddr is the listen address for the /stats endpoint; empty
+	// disables HTTP.
+	HTTPAddr string
+	// PoolName tags the pool in handshakes, coinbases and stats.
+	// Default "hcpool".
+	PoolName string
+	// ShareBits is the compact pool share target — the easier threshold a
+	// submission must meet to count as work. Required.
+	ShareBits uint32
+	// RangeSize is the nonce window assigned to each subscriber per job.
+	// Default DefaultRangeSize.
+	RangeSize uint64
+	// VerifyWorkers bounds the share-verification worker pool (each
+	// worker holds one hashing session). Default GOMAXPROCS.
+	VerifyWorkers int
+	// QueueDepth bounds the submit queue; a full queue blocks connection
+	// readers (TCP backpressure). Default 256.
+	QueueDepth int
+	// JobRetention is how many recent jobs stay submittable. Default 4.
+	JobRetention int
+	// RefreshInterval re-templates the current job (rolling its
+	// timestamp and handing out fresh nonce ranges) at this period.
+	// Default 10s; negative disables.
+	RefreshInterval time.Duration
+	// SeenCapacity bounds the duplicate-share set. Default 1<<16.
+	SeenCapacity int
+	// WriteTimeout bounds one protocol write to a client, so a stalled
+	// connection cannot block job fan-out. Default 5s.
+	WriteTimeout time.Duration
+	// Logf receives server events; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.PoolName == "" {
+		c.PoolName = "hcpool"
+	}
+	if c.RangeSize == 0 {
+		c.RangeSize = DefaultRangeSize
+	}
+	if c.VerifyWorkers < 1 {
+		c.VerifyWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 256
+	}
+	if c.JobRetention < 1 {
+		c.JobRetention = 4
+	}
+	if c.RefreshInterval == 0 {
+		c.RefreshInterval = 10 * time.Second
+	}
+	if c.SeenCapacity < 1 {
+		c.SeenCapacity = 1 << 16
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+}
+
+// Server is a mining-pool server: it owns the job manager, the
+// verification pipeline, the miner ledger and the two listeners. Create
+// with NewServer, start with Start, stop with Shutdown.
+type Server struct {
+	cfg    Config
+	hasher Hasher
+	jm     *JobManager
+	src    TemplateSource
+	seen   *SeenSet
+	acct   *Accounting
+	pipe   *Pipeline
+
+	ln     net.Listener
+	httpLn net.Listener
+	httpSv *http.Server
+
+	mu       sync.Mutex
+	conns    map[*serverConn]struct{}
+	started  bool
+	shutdown bool
+
+	connSeq atomic.Uint64
+	blocks  atomic.Uint64
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewServer assembles a server verifying shares with hasher (workers get
+// private sessions when it implements pow.SessionHasher) over templates
+// from src. The first job is built immediately, so a nil-template source
+// fails here rather than at Start.
+func NewServer(cfg Config, hasher Hasher, src TemplateSource) (*Server, error) {
+	cfg.fillDefaults()
+	jm, err := NewJobManager(src, cfg.ShareBits, cfg.RangeSize, cfg.JobRetention)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:    cfg,
+		hasher: hasher,
+		jm:     jm,
+		src:    src,
+		seen:   NewSeenSet(cfg.SeenCapacity),
+		acct:   NewAccounting(),
+		conns:  make(map[*serverConn]struct{}),
+		quit:   make(chan struct{}),
+	}
+	validator := NewShareValidator(jm, s.seen, s.acct, s.onBlock)
+	s.pipe = NewPipeline(validator, hasher, cfg.VerifyWorkers, cfg.QueueDepth)
+	if _, err := jm.Refresh(true); err != nil {
+		s.pipe.Close()
+		return nil, fmt.Errorf("pool: building initial job: %w", err)
+	}
+	return s, nil
+}
+
+// Start opens the listeners and begins serving. It returns once both
+// listeners are bound (use Addr / StatsAddr for the resolved addresses).
+func (s *Server) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("pool: server already started")
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	if s.cfg.HTTPAddr != "" {
+		httpLn, err := net.Listen("tcp", s.cfg.HTTPAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		s.httpLn = httpLn
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", s.handleStats)
+		s.httpSv = &http.Server{Handler: mux}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := s.httpSv.Serve(httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				s.cfg.Logf("pool: http server: %v", err)
+			}
+		}()
+	}
+	s.started = true
+
+	s.wg.Add(1)
+	go s.acceptLoop()
+	if s.cfg.RefreshInterval > 0 {
+		s.wg.Add(1)
+		go s.refreshLoop()
+	}
+	s.cfg.Logf("pool %q serving %s on %s (share bits %#x, %d verify workers)",
+		s.cfg.PoolName, s.hasher.Name(), ln.Addr(), s.cfg.ShareBits, s.cfg.VerifyWorkers)
+	return nil
+}
+
+// Addr returns the miner-protocol listen address ("" before Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// StatsAddr returns the HTTP listen address ("" if disabled or before
+// Start).
+func (s *Server) StatsAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// Accounting exposes the share ledger (for tests and embedding).
+func (s *Server) Accounting() *Accounting { return s.acct }
+
+// Jobs exposes the job manager.
+func (s *Server) Jobs() *JobManager { return s.jm }
+
+// Blocks returns how many blocks the pool has solved and submitted.
+func (s *Server) Blocks() uint64 { return s.blocks.Load() }
+
+// Shutdown stops accepting, closes every connection, drains the
+// verification queue and waits for all server goroutines, or returns
+// ctx.Err() if the context expires first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return nil
+	}
+	s.shutdown = true
+	started := s.started
+	if !started {
+		// Never started (or Start failed): no listeners or connection
+		// goroutines exist, but the verification workers do — stop them
+		// so a construct-and-abandon caller leaks nothing.
+		s.mu.Unlock()
+		s.pipe.Close()
+		return nil
+	}
+	close(s.quit)
+	s.ln.Close()
+	for c := range s.conns {
+		c.close()
+	}
+	httpSv := s.httpSv
+	s.mu.Unlock()
+
+	if httpSv != nil {
+		_ = httpSv.Shutdown(ctx)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		s.pipe.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// acceptLoop admits miner connections until the listener closes.
+// Transient accept errors (fd exhaustion under a connection flood) are
+// retried with backoff rather than silently ending admission for the
+// rest of the process lifetime.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	var backoff time.Duration
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			s.cfg.Logf("pool: accept: %v (retrying in %v)", err, backoff)
+			select {
+			case <-s.quit:
+				return
+			case <-time.After(backoff):
+			}
+			continue
+		}
+		backoff = 0
+		c := &serverConn{
+			s:    s,
+			conn: conn,
+			id:   s.connSeq.Add(1),
+		}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go c.serve()
+	}
+}
+
+// refreshLoop periodically re-templates the current job so timestamps
+// roll and subscribers get fresh nonce ranges even without new blocks.
+func (s *Server) refreshLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.RefreshInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-ticker.C:
+			job, err := s.jm.Refresh(false)
+			if err != nil {
+				s.cfg.Logf("pool: job refresh: %v", err)
+				continue
+			}
+			s.broadcastJob(job)
+		}
+	}
+}
+
+// onBlock runs on a verification worker when a share solves a block:
+// submit it upstream, then cut a clean job on the new tip.
+func (s *Server) onBlock(job *Job, digest [32]byte, nonce uint64) {
+	header := job.Header
+	header.Nonce = nonce
+	if err := s.src.SubmitBlock(header); err != nil {
+		s.cfg.Logf("pool: block at height %d rejected upstream: %v", job.Height, err)
+		return
+	}
+	s.blocks.Add(1)
+	s.cfg.Logf("pool: block solved at height %d (job %s nonce %d digest %x…)",
+		job.Height, job.ID, nonce, digest[:8])
+	next, err := s.jm.Refresh(true)
+	if err != nil {
+		s.cfg.Logf("pool: job refresh after block: %v", err)
+		return
+	}
+	s.broadcastJob(next)
+}
+
+// broadcastJob notifies every subscribed connection, assigning each its
+// own nonce window. Fan-out is concurrent: one stalled peer may block
+// its own notify for up to WriteTimeout (after which it is dropped) but
+// must never delay the others — broadcastJob is called from the
+// verification path (onBlock), where serial WriteTimeout-sized stalls
+// would starve share verification. The goroutines are not tracked by
+// the server's WaitGroup; after Shutdown closes the connections their
+// writes fail immediately.
+func (s *Server) broadcastJob(job *Job) {
+	s.mu.Lock()
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		go c.notify(job)
+	}
+}
+
+// statsReply is the /stats JSON document.
+type statsReply struct {
+	Pool        string          `json:"pool"`
+	Hasher      string          `json:"hasher"`
+	JobID       string          `json:"job_id"`
+	Height      int             `json:"height"`
+	ShareBits   uint32          `json:"share_bits"`
+	BlockBits   uint32          `json:"block_bits"`
+	Blocks      uint64          `json:"blocks_solved"`
+	Connections int             `json:"connections"`
+	QueueDepth  int             `json:"queue_depth"`
+	SeenShares  int             `json:"seen_shares"`
+	Totals      MinerStats      `json:"totals"`
+	Miners      []MinerSnapshot `json:"miners"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	nconns := len(s.conns)
+	s.mu.Unlock()
+	reply := statsReply{
+		Pool:        s.cfg.PoolName,
+		Hasher:      s.hasher.Name(),
+		Blocks:      s.blocks.Load(),
+		Connections: nconns,
+		QueueDepth:  s.pipe.QueueDepth(),
+		SeenShares:  s.seen.Len(),
+		Totals:      s.acct.Totals(),
+		Miners:      s.acct.Snapshot(),
+	}
+	if job := s.jm.Current(); job != nil {
+		reply.JobID = job.ID
+		reply.Height = job.Height
+		reply.ShareBits = job.ShareBits
+		reply.BlockBits = job.BlockBits
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(reply)
+}
+
+// serverConn is one miner connection.
+type serverConn struct {
+	s    *Server
+	conn net.Conn
+	id   uint64
+
+	wmu sync.Mutex // serializes writes (results race notifies)
+
+	subMu      sync.Mutex
+	subscribed bool
+	miner      string
+
+	closeOnce sync.Once
+}
+
+func (c *serverConn) close() {
+	c.closeOnce.Do(func() { c.conn.Close() })
+}
+
+// send writes one envelope under the write lock with the configured
+// deadline. On write failure the connection is closed: a peer that cannot
+// take a notify in WriteTimeout is better dropped than allowed to stall
+// broadcast fan-out.
+func (c *serverConn) send(env *Envelope) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_ = c.conn.SetWriteDeadline(time.Now().Add(c.s.cfg.WriteTimeout))
+	if err := writeMsg(c.conn, env); err != nil {
+		c.close()
+	}
+}
+
+// notify assigns this subscriber a nonce window on job and sends it.
+func (c *serverConn) notify(job *Job) {
+	c.subMu.Lock()
+	subscribed := c.subscribed
+	c.subMu.Unlock()
+	if !subscribed {
+		return
+	}
+	start, end := job.AssignRange(c.s.cfg.RangeSize)
+	c.send(&Envelope{
+		Type: TypeNotify,
+		Job: &JobNotify{
+			ID:         job.ID,
+			Prefix:     hex.EncodeToString(job.Prefix),
+			ShareBits:  job.ShareBits,
+			BlockBits:  job.BlockBits,
+			NonceStart: start,
+			NonceEnd:   end,
+			Height:     job.Height,
+			Clean:      job.Clean,
+		},
+	})
+}
+
+// serve runs the connection's read loop until EOF, protocol error or
+// shutdown.
+func (c *serverConn) serve() {
+	defer c.s.wg.Done()
+	defer func() {
+		c.close()
+		c.s.mu.Lock()
+		delete(c.s.conns, c)
+		c.s.mu.Unlock()
+	}()
+
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 4096), MaxLineBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		env, err := parseMsg(line)
+		if err != nil {
+			c.send(&Envelope{Type: TypeError, Error: err.Error()})
+			return
+		}
+		switch env.Type {
+		case TypeSubscribe:
+			c.handleSubscribe(&env)
+		case TypeSubmit:
+			if !c.handleSubmit(&env) {
+				return
+			}
+		default:
+			c.send(&Envelope{Type: TypeError, Error: "unknown message type " + strconv.Quote(env.Type)})
+		}
+	}
+	// EOF or read error: either way the connection is done.
+}
+
+func (c *serverConn) handleSubscribe(env *Envelope) {
+	name := env.Miner
+	if name == "" {
+		name = fmt.Sprintf("anon-%d", c.id)
+	}
+	c.subMu.Lock()
+	c.miner = name
+	first := !c.subscribed
+	c.subscribed = true
+	c.subMu.Unlock()
+
+	if first {
+		c.s.cfg.Logf("pool: miner %q subscribed from %s (agent %q)", name, c.conn.RemoteAddr(), env.Agent)
+	}
+	c.send(&Envelope{
+		Type:    TypeSubscribed,
+		Session: strconv.FormatUint(c.id, 10),
+		Pool:    c.s.cfg.PoolName,
+		Hasher:  c.s.hasher.Name(),
+	})
+	c.send(&Envelope{Type: TypeSetTarget, Bits: c.s.jm.ShareBits()})
+	if job := c.s.jm.Current(); job != nil {
+		c.notify(job)
+	}
+}
+
+// handleSubmit queues the share; the reply callback sends the verdict
+// when a verification worker reaches it. Returns false when the
+// connection should be dropped (submit before subscribe, or shutdown).
+func (c *serverConn) handleSubmit(env *Envelope) bool {
+	c.subMu.Lock()
+	miner := c.miner
+	subscribed := c.subscribed
+	c.subMu.Unlock()
+	if !subscribed {
+		c.send(&Envelope{Type: TypeError, Error: "submit before subscribe"})
+		return false
+	}
+	if env.JobID == "" {
+		c.send(&Envelope{Type: TypeResult, JobID: env.JobID, Nonce: env.Nonce,
+			Status: StatusInvalid, Reason: "missing job_id"})
+		return true
+	}
+	// Submit blocks when verification is saturated; since this is the
+	// connection's read goroutine, the peer experiences TCP backpressure.
+	err := c.s.pipe.Submit(context.Background(), miner, env.JobID, env.Nonce, func(res ShareResult) {
+		c.send(&Envelope{
+			Type:   TypeResult,
+			JobID:  res.JobID,
+			Nonce:  res.Nonce,
+			Status: res.Status,
+			Reason: res.Reason,
+		})
+	})
+	if err != nil {
+		c.send(&Envelope{Type: TypeError, Error: err.Error()})
+		return false
+	}
+	return true
+}

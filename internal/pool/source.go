@@ -1,0 +1,120 @@
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hashcore/internal/blockchain"
+)
+
+// TemplateSource supplies block templates for jobs and accepts solved
+// blocks back. Implementations must be safe for concurrent use.
+type TemplateSource interface {
+	// Template returns a header for the next block with a zero nonce,
+	// plus the height that block would occupy. Each call may roll the
+	// timestamp, so successive templates differ.
+	Template() (blockchain.Header, int, error)
+	// SubmitBlock submits a header whose PoW meets its own Bits. The
+	// source reattaches the transactions it committed to in Template.
+	SubmitBlock(h blockchain.Header) error
+}
+
+// ChainSource adapts a blockchain.Chain — which is not safe for
+// concurrent use — into a serialized TemplateSource. Templates commit to
+// a single synthetic coinbase transaction tagged with the pool name and
+// height; the transactions behind each Merkle root are retained (bounded)
+// so solved headers can be reassembled into full blocks.
+type ChainSource struct {
+	mu    sync.Mutex
+	chain *blockchain.Chain
+	tag   string
+	now   func() time.Time
+
+	// txs maps template Merkle roots to the committed transactions.
+	// Bounded FIFO: older roots than txsCap templates ago are forgotten,
+	// which also naturally stales their jobs.
+	txs   map[blockchain.Hash][][]byte
+	order []blockchain.Hash
+}
+
+// txsCap bounds how many distinct template transaction sets ChainSource
+// retains. Must comfortably exceed the job retention window.
+const txsCap = 64
+
+// NewChainSource wraps chain. The tag goes into coinbase payloads so
+// every pool instance produces distinct Merkle roots.
+func NewChainSource(chain *blockchain.Chain, tag string) *ChainSource {
+	return &ChainSource{
+		chain: chain,
+		tag:   tag,
+		now:   time.Now,
+		txs:   make(map[blockchain.Hash][][]byte),
+	}
+}
+
+// Template builds a header extending the current best tip.
+func (cs *ChainSource) Template() (blockchain.Header, int, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+
+	tip := cs.chain.TipID()
+	tipHeader := cs.chain.TipHeader()
+	bits, err := cs.chain.NextBits(tip)
+	if err != nil {
+		return blockchain.Header{}, 0, err
+	}
+	height := cs.chain.Height() + 1
+
+	// The chain requires strictly increasing timestamps and never
+	// consults a wall clock itself.
+	t := uint64(cs.now().Unix())
+	if t <= tipHeader.Time {
+		t = tipHeader.Time + 1
+	}
+
+	txs := [][]byte{[]byte(fmt.Sprintf("coinbase pool=%s height=%d time=%d", cs.tag, height, t))}
+	header := blockchain.Header{
+		Version:    1,
+		PrevHash:   tip,
+		MerkleRoot: blockchain.MerkleRoot(txs),
+		Time:       t,
+		Bits:       bits,
+	}
+	cs.remember(header.MerkleRoot, txs)
+	return header, height, nil
+}
+
+// remember stores txs under root, evicting the oldest set at capacity.
+// Caller holds cs.mu.
+func (cs *ChainSource) remember(root blockchain.Hash, txs [][]byte) {
+	if _, ok := cs.txs[root]; ok {
+		return
+	}
+	if len(cs.order) >= txsCap {
+		delete(cs.txs, cs.order[0])
+		cs.order = cs.order[1:]
+	}
+	cs.txs[root] = txs
+	cs.order = append(cs.order, root)
+}
+
+// SubmitBlock reassembles the block behind h's Merkle root and adds it to
+// the chain.
+func (cs *ChainSource) SubmitBlock(h blockchain.Header) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	txs, ok := cs.txs[h.MerkleRoot]
+	if !ok {
+		return fmt.Errorf("pool: no transactions retained for merkle root %x", h.MerkleRoot[:8])
+	}
+	_, err := cs.chain.AddBlock(blockchain.Block{Header: h, Txs: txs})
+	return err
+}
+
+// Height returns the chain's current best height.
+func (cs *ChainSource) Height() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.chain.Height()
+}

@@ -1,0 +1,192 @@
+package pool
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	"hashcore/internal/pow"
+)
+
+// ShareResult is the verdict on one submitted share.
+type ShareResult struct {
+	Miner  string
+	JobID  string
+	Nonce  uint64
+	Status ShareStatus
+	// Reason elaborates non-accepted statuses for the miner's logs.
+	Reason string
+	// Digest is the share's PoW digest; zero when verification rejected
+	// the share before hashing (stale, duplicate).
+	Digest [32]byte
+	// Height is the chain height of the share's job (0 when stale).
+	Height int
+}
+
+// ShareValidator decides share verdicts. The cheap structural checks
+// (job known? nonce fresh?) run before the expensive hash evaluation, so
+// replayed and stale floods never reach a hashing session.
+type ShareValidator struct {
+	jobs *JobManager
+	seen *SeenSet
+	acct *Accounting
+	// onBlock, when non-nil, is called for every share that also meets
+	// its job's block target — from a verification worker goroutine.
+	onBlock func(job *Job, digest [32]byte, nonce uint64)
+}
+
+// NewShareValidator wires a validator over the given job window, dedupe
+// set and ledger. onBlock may be nil.
+func NewShareValidator(jobs *JobManager, seen *SeenSet, acct *Accounting, onBlock func(job *Job, digest [32]byte, nonce uint64)) *ShareValidator {
+	return &ShareValidator{jobs: jobs, seen: seen, acct: acct, onBlock: onBlock}
+}
+
+// Verify judges one share using the caller-owned hashing session and
+// header scratch buffer, records the verdict in the ledger, and fires the
+// block callback when the share solves a block. hdr is reused across
+// calls to keep the steady-state verification path allocation-free.
+func (v *ShareValidator) Verify(sess pow.Hasher, hdr *[]byte, miner, jobID string, nonce uint64) ShareResult {
+	res := ShareResult{Miner: miner, JobID: jobID, Nonce: nonce}
+
+	job, ok := v.jobs.Lookup(jobID)
+	if !ok {
+		res.Status, res.Reason = StatusStale, "unknown or expired job"
+		v.acct.Record(miner, res.Status, 0)
+		return res
+	}
+	res.Height = job.Height
+
+	if v.seen.CheckAndAdd(shareKey(jobID, nonce)) {
+		res.Status, res.Reason = StatusDuplicate, "share already submitted"
+		v.acct.Record(miner, res.Status, 0)
+		return res
+	}
+
+	b := append((*hdr)[:0], job.Prefix...)
+	b = binary.LittleEndian.AppendUint64(b, nonce)
+	*hdr = b
+	digest, err := sess.Hash(b)
+	if err != nil {
+		res.Status, res.Reason = StatusInvalid, "hash error: "+err.Error()
+		v.acct.Record(miner, res.Status, 0)
+		return res
+	}
+	res.Digest = digest
+
+	if !pow.Check(digest, job.ShareTarget) {
+		res.Status, res.Reason = StatusLowDiff, "digest above share target"
+		v.acct.Record(miner, res.Status, 0)
+		return res
+	}
+
+	res.Status = StatusAccepted
+	if pow.Check(digest, job.BlockTarget) {
+		res.Status = StatusBlock
+		if v.onBlock != nil {
+			v.onBlock(job, digest, nonce)
+		}
+	}
+	v.acct.Record(miner, res.Status, job.ShareWork)
+	return res
+}
+
+// submitTask is one queued share awaiting verification.
+type submitTask struct {
+	miner string
+	jobID string
+	nonce uint64
+	reply func(ShareResult)
+}
+
+// ErrPipelineClosed is returned by Submit after Close.
+var ErrPipelineClosed = errors.New("pool: verification pipeline closed")
+
+// Pipeline is the bounded share-verification worker pool. Each worker
+// holds a private hashing session (minted once, via pow.SessionHasher
+// when the hasher offers it) and a reusable header buffer, so steady-state
+// verification allocates nothing per share. The queue is bounded:
+// Submit blocks when verification falls behind, which propagates as TCP
+// backpressure to the submitting connection instead of unbounded memory
+// growth.
+type Pipeline struct {
+	validator *ShareValidator
+	tasks     chan submitTask
+	wg        sync.WaitGroup
+
+	// mu serializes Close (writer) against in-flight Submit sends
+	// (readers), so the channel close can never race a send.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewPipeline starts workers goroutines verifying against validator.
+// depth is the submit queue bound (minimum 1).
+func NewPipeline(validator *ShareValidator, hasher pow.Hasher, workers, depth int) *Pipeline {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	p := &Pipeline{
+		validator: validator,
+		tasks:     make(chan submitTask, depth),
+	}
+	for i := 0; i < workers; i++ {
+		sess := hasher
+		if sh, ok := hasher.(pow.SessionHasher); ok {
+			sess = sh.NewSession()
+		}
+		p.wg.Add(1)
+		go p.worker(sess)
+	}
+	return p
+}
+
+func (p *Pipeline) worker(sess pow.Hasher) {
+	defer p.wg.Done()
+	hdr := make([]byte, 0, 128)
+	for t := range p.tasks {
+		res := p.validator.Verify(sess, &hdr, t.miner, t.jobID, t.nonce)
+		if t.reply != nil {
+			t.reply(res)
+		}
+	}
+}
+
+// Submit enqueues a share for verification; reply (may be nil) is called
+// from a worker goroutine with the verdict. Submit blocks while the
+// queue is full — that is the backpressure mechanism — and returns
+// ctx.Err() if the context ends first, or ErrPipelineClosed after Close.
+func (p *Pipeline) Submit(ctx context.Context, miner, jobID string, nonce uint64, reply func(ShareResult)) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPipelineClosed
+	}
+	select {
+	case p.tasks <- submitTask{miner: miner, jobID: jobID, nonce: nonce, reply: reply}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// QueueDepth reports the shares currently waiting for a worker.
+func (p *Pipeline) QueueDepth() int { return len(p.tasks) }
+
+// Close drains queued shares (their replies still fire) and stops the
+// workers. Submit calls racing Close may be verified or may return
+// ErrPipelineClosed; none are silently dropped after Submit returned nil.
+func (p *Pipeline) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,131 @@
+package pow
+
+import (
+	"math/big"
+	"testing"
+)
+
+// The compact target encoding is consensus-critical: difficulty bits
+// travel in block headers and pool share targets, and any disagreement
+// between encode and decode forks validation. These fuzz targets pin the
+// two properties everything downstream relies on.
+
+// FuzzCompactRoundTrip: any compact encoding that decodes must re-encode
+// to a fixed point — decode(encode(decode(bits))) == decode(bits) — and
+// rejected encodings must never panic.
+func FuzzCompactRoundTrip(f *testing.F) {
+	f.Add(uint32(0x1d00ffff)) // Bitcoin genesis difficulty
+	f.Add(TargetToCompact(MainPowLimit))
+	f.Add(uint32(0))
+	f.Add(uint32(0x01000001)) // smallest positive exponent-1 mantissa
+	f.Add(uint32(0x03123456)) // exponent 3: mantissa used verbatim
+	f.Add(uint32(0x01800000)) // sign bit: must be rejected
+	f.Add(uint32(0xff00ffff)) // oversized exponent: must be rejected
+	f.Add(uint32(0x2200ffff)) // exponent 34: the 256-bit boundary
+	f.Add(uint32(0x207fffff)) // max mantissa at a high exponent
+
+	f.Fuzz(func(t *testing.T, bits uint32) {
+		target, err := CompactToTarget(bits)
+		if err != nil {
+			return // rejected encodings are fine; not panicking is the test
+		}
+		reBits := TargetToCompact(target)
+		back, err := CompactToTarget(reBits)
+		if err != nil {
+			t.Fatalf("re-encoding of %#x produced undecodable bits %#x: %v", bits, reBits, err)
+		}
+		if back != target {
+			t.Fatalf("%#x: decode→encode→decode moved the target: %x != %x", bits, back, target)
+		}
+		// And the re-encoding itself must be stable.
+		if again := TargetToCompact(back); again != reBits {
+			t.Fatalf("%#x: encoding not a fixed point: %#x != %#x", bits, again, reBits)
+		}
+	})
+}
+
+// FuzzTargetToCompact: encoding an arbitrary 256-bit target must always
+// produce decodable bits whose value is the original truncated to its
+// top 23+ bits of precision — never larger, never off by more than the
+// dropped low bytes (Bitcoin's lossy nBits contract).
+func FuzzTargetToCompact(f *testing.F) {
+	f.Add(make([]byte, 32))
+	f.Add(append(make([]byte, 28), 0xff, 0xff, 0xff, 0xff))
+	full := make([]byte, 32)
+	for i := range full {
+		full[i] = 0xff
+	}
+	f.Add(full)
+	f.Add([]byte{0x01})
+	f.Add(append([]byte{0x80}, make([]byte, 31)...))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 32 {
+			raw = raw[:32]
+		}
+		var target Target
+		copy(target[32-len(raw):], raw)
+
+		bits := TargetToCompact(target)
+		if target == (Target{}) {
+			if bits != 0 {
+				t.Fatalf("zero target encoded to %#x, want 0", bits)
+			}
+			return
+		}
+		back, err := CompactToTarget(bits)
+		if err != nil {
+			t.Fatalf("encoding of %x produced undecodable bits %#x: %v", target, bits, err)
+		}
+		v, b := target.Big(), back.Big()
+		if b.Cmp(v) > 0 {
+			t.Fatalf("lossy encoding rounded UP: %x -> %#x -> %x", target, bits, back)
+		}
+		// The dropped precision is bounded by the encoding's own
+		// granularity, 256^(exponent-3): the exponent comes from the
+		// produced bits because the sign-bit-avoidance bump (mantissa
+		// 0x800000 -> 0x8000, exponent+1) legally costs one more byte.
+		exp := bits >> 24
+		var maxLoss *big.Int
+		if exp <= 3 {
+			maxLoss = big.NewInt(0) // value fits the mantissa exactly
+		} else {
+			maxLoss = new(big.Int).Lsh(big.NewInt(1), uint(8*(exp-3)))
+		}
+		if diff := new(big.Int).Sub(v, b); diff.Cmp(maxLoss) > 0 {
+			t.Fatalf("encoding lost more than the mantissa truncation allows:\n  target %x\n  back   %x\n  diff   %x > %x",
+				target, back, diff, maxLoss)
+		}
+	})
+}
+
+// TestCompactBoundaryValues locks exact decodings at the format's edges,
+// complementing the fuzz properties with fixed expectations.
+func TestCompactBoundaryValues(t *testing.T) {
+	cases := []struct {
+		bits uint32
+		want *big.Int
+	}{
+		{0x01000001, big.NewInt(0)},                             // 1 >> 16
+		{0x02000100, big.NewInt(1)},                             // 0x100 >> 8
+		{0x03000001, big.NewInt(1)},                             // mantissa verbatim
+		{0x04000001, big.NewInt(0x100)},                         // 1 << 8
+		{0x1d00ffff, new(big.Int).Lsh(big.NewInt(0xffff), 208)}, // Bitcoin genesis
+		{0x220000ff, new(big.Int).Lsh(big.NewInt(0xff), 248)},   // top of the 256-bit range
+	}
+	for _, tc := range cases {
+		target, err := CompactToTarget(tc.bits)
+		if err != nil {
+			t.Errorf("CompactToTarget(%#x): %v", tc.bits, err)
+			continue
+		}
+		if target.Big().Cmp(tc.want) != 0 {
+			t.Errorf("CompactToTarget(%#x) = %x, want %x", tc.bits, target.Big(), tc.want)
+		}
+	}
+	// One past the representable range must be rejected.
+	if _, err := CompactToTarget(0x23000001); err == nil {
+		// exponent 35 shifts the mantissa past 256 bits
+		t.Error("exponent 35 accepted")
+	}
+}
