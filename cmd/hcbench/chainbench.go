@@ -1,0 +1,240 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"hashcore/internal/baseline"
+	"hashcore/internal/blockchain"
+	"hashcore/internal/pow"
+)
+
+// ChainStoreBench is one store's numbers in the chain benchmark.
+type ChainStoreBench struct {
+	Store string `json:"store"`
+	// ValidateBlocksPerS is full-block acceptance throughput: header
+	// PoW check, Merkle re-commitment, difficulty/timestamp rules,
+	// fork-choice update, store append.
+	ValidateBlocksPerS float64 `json:"validate_blocks_per_sec"`
+	// ReorgPerS is fork-takeover throughput: how many times per second
+	// the node can switch its tip to a heavier competing branch.
+	ReorgPerS float64 `json:"reorgs_per_sec"`
+	// ReplayBlocksPerS is restart recovery throughput (replaying the
+	// store through full validation at open). Zero for the mem store's
+	// first open (nothing to replay is not worth reporting).
+	ReplayBlocksPerS float64 `json:"replay_blocks_per_sec,omitempty"`
+}
+
+// ChainBenchReport is the machine-readable record of one chain
+// benchmark run (BENCH_chain.json).
+type ChainBenchReport struct {
+	Hasher    string            `json:"hasher"`
+	Blocks    int               `json:"blocks"`
+	GoVersion string            `json:"go_version"`
+	GOARCH    string            `json:"goarch"`
+	Timestamp string            `json:"timestamp"`
+	Stores    []ChainStoreBench `json:"stores"`
+}
+
+// premineChain mines a linear chain of n blocks (plus a one-longer
+// competing fork for reorg measurement) with sha256d at the default
+// easy difficulty, off-line of any timing.
+func premineChain(n int) (main, fork []blockchain.Block, err error) {
+	params := blockchain.DefaultParams()
+	mine := func(c *blockchain.Chain, parent blockchain.Hash, tm uint64, tag byte, i int) (blockchain.Block, blockchain.Hash, error) {
+		bits, err := c.NextBits(parent)
+		if err != nil {
+			return blockchain.Block{}, blockchain.Hash{}, err
+		}
+		txs := [][]byte{{tag, byte(i), byte(i >> 8)}}
+		h := blockchain.Header{
+			Version:    1,
+			PrevHash:   parent,
+			MerkleRoot: blockchain.MerkleRoot(txs),
+			Time:       tm,
+			Bits:       bits,
+		}
+		target, err := pow.CompactToTarget(bits)
+		if err != nil {
+			return blockchain.Block{}, blockchain.Hash{}, err
+		}
+		res, err := pow.NewMiner(baseline.SHA256d{}, 2).Mine(context.Background(), h.MiningPrefix(), target, 0, 0)
+		if err != nil {
+			return blockchain.Block{}, blockchain.Hash{}, err
+		}
+		h.Nonce = res.Nonce
+		b := blockchain.Block{Header: h, Txs: txs}
+		id, err := c.AddBlock(b)
+		return b, id, err
+	}
+
+	c, err := blockchain.NewChain(params, baseline.SHA256d{})
+	if err != nil {
+		return nil, nil, err
+	}
+	parent := c.GenesisID()
+	tm := params.GenesisTime
+	for i := 0; i < n; i++ {
+		tm += params.TargetSpacing
+		b, id, err := mine(c, parent, tm, 'm', i)
+		if err != nil {
+			return nil, nil, err
+		}
+		main = append(main, b)
+		parent = id
+	}
+	// The fork shares genesis only and is one block heavier, so adding
+	// it to a node holding the main chain forces a full reorg.
+	parent = c.GenesisID()
+	tm = params.GenesisTime + 1
+	for i := 0; i < n+1; i++ {
+		tm += params.TargetSpacing
+		b, id, err := mine(c, parent, tm, 'f', i)
+		if err != nil {
+			return nil, nil, err
+		}
+		fork = append(fork, b)
+		parent = id
+	}
+	return main, fork, nil
+}
+
+// runChainBench measures block-validation, reorg and replay throughput
+// of the node subsystem on both Store implementations and writes
+// BENCH_chain.json.
+func runChainBench(n int, outPath string) error {
+	if n < 8 {
+		n = 8
+	}
+	mainChain, fork, err := premineChain(n)
+	if err != nil {
+		return err
+	}
+	params := blockchain.DefaultParams()
+	tmpDir, err := os.MkdirTemp("", "hcbench-chain-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmpDir)
+
+	rep := ChainBenchReport{
+		Hasher:    "sha256d",
+		Blocks:    n,
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	for _, kind := range []string{"mem", "file"} {
+		openStore := func(fresh bool) (blockchain.Store, error) {
+			if kind == "mem" {
+				return blockchain.NewMemStore(), nil
+			}
+			path := filepath.Join(tmpDir, "blocks.log")
+			if fresh {
+				os.Remove(path)
+			}
+			return blockchain.OpenFileStore(path)
+		}
+
+		store, err := openStore(true)
+		if err != nil {
+			return err
+		}
+		node, err := blockchain.OpenNode(blockchain.NodeConfig{Params: params, Hasher: baseline.SHA256d{}, Store: store})
+		if err != nil {
+			return err
+		}
+
+		// Validation: accept the whole pre-mined main chain.
+		start := time.Now()
+		for _, b := range mainChain {
+			if _, err := node.AddBlock(b); err != nil {
+				node.Close()
+				return fmt.Errorf("chain bench (%s): %w", kind, err)
+			}
+		}
+		validateElapsed := time.Since(start)
+
+		// Reorg: feed the heavier fork; the final block flips the tip.
+		events, cancel := node.Subscribe(4)
+		start = time.Now()
+		for _, b := range fork {
+			if _, err := node.AddBlock(b); err != nil {
+				cancel()
+				node.Close()
+				return fmt.Errorf("chain bench fork (%s): %w", kind, err)
+			}
+		}
+		reorgElapsed := time.Since(start)
+		sawReorg := false
+	drain:
+		for {
+			select {
+			case ev := <-events:
+				if ev.Reorg {
+					sawReorg = true
+				}
+			default:
+				break drain
+			}
+		}
+		cancel()
+		if !sawReorg {
+			node.Close()
+			return fmt.Errorf("chain bench (%s): fork did not reorg the tip", kind)
+		}
+		wantTip := node.TipID()
+		node.Close()
+
+		sb := ChainStoreBench{
+			Store: kind,
+			// The fork walk revalidates n+1 blocks and ends in one tip
+			// switch; report it per full takeover.
+			ValidateBlocksPerS: float64(len(mainChain)) / validateElapsed.Seconds(),
+			ReorgPerS:          1 / reorgElapsed.Seconds(),
+		}
+
+		if kind == "file" {
+			// Replay: reopen and measure recovery of the full tree.
+			store, err := openStore(false)
+			if err != nil {
+				return err
+			}
+			start = time.Now()
+			node, err := blockchain.OpenNode(blockchain.NodeConfig{Params: params, Hasher: baseline.SHA256d{}, Store: store})
+			if err != nil {
+				return err
+			}
+			replayElapsed := time.Since(start)
+			if node.TipID() != wantTip {
+				node.Close()
+				return fmt.Errorf("chain bench: replay recovered wrong tip")
+			}
+			sb.ReplayBlocksPerS = float64(node.Replayed()) / replayElapsed.Seconds()
+			node.Close()
+		}
+		rep.Stores = append(rep.Stores, sb)
+		fmt.Printf("store=%-4s  %8.0f validate blocks/s  %6.1f reorgs/s", kind, sb.ValidateBlocksPerS, sb.ReorgPerS)
+		if sb.ReplayBlocksPerS > 0 {
+			fmt.Printf("  %8.0f replay blocks/s", sb.ReplayBlocksPerS)
+		}
+		fmt.Println()
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", outPath, err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

@@ -8,7 +8,8 @@
 //	hcbench -run fig2 -n 1000   # just Figure 2 at the paper's N
 //	hcbench -run vm             # hash-pipeline microbenchmark -> BENCH_vm.json
 //	hcbench -run pool           # share-verification throughput -> BENCH_pool.json
-//	hcbench -run table1|fig1|fig2|fig3|sizes|noise|genvssel|randomx|baselines|mine|vm|pool
+//	hcbench -run chain          # node validation/reorg/replay -> BENCH_chain.json
+//	hcbench -run table1|fig1|fig2|fig3|sizes|noise|genvssel|randomx|baselines|mine|vm|pool|chain
 //
 // The vm experiment measures the production hashing path (pooled
 // sessions, unobserved interpreter loop) and writes a machine-readable
@@ -16,7 +17,10 @@
 // performance trajectory is tracked across PRs. The pool experiment does
 // the same for the mining-pool server's share-verification pipeline
 // (shares/sec through dedupe, session hashing and accounting),
-// writing BENCH_pool.json.
+// writing BENCH_pool.json. The chain experiment benchmarks the node
+// subsystem — block-validation, fork-reorg and restart-replay
+// throughput on both the in-memory and the append-only file store —
+// writing BENCH_chain.json.
 package main
 
 import (
@@ -32,7 +36,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (all, table1, fig1, fig2, fig3, sizes, noise, genvssel, predictors, randomx, baselines, mine, vm, pool)")
+	run := flag.String("run", "all", "experiment to run (all, table1, fig1, fig2, fig3, sizes, noise, genvssel, predictors, randomx, baselines, mine, vm, pool, chain)")
 	n := flag.Int("n", 1000, "widget population size for fig2/fig3/sizes/noise")
 	profileName := flag.String("profile", "leela", "reference workload profile")
 	seed := flag.Uint64("seed", 2019, "master seed for widget seeds")
@@ -41,15 +45,17 @@ func main() {
 	poolN := flag.Int("pooln", 256, "shares for the pool verification benchmark")
 	poolWorkers := flag.Int("poolworkers", 0, "verification workers for the pool benchmark (0 = GOMAXPROCS)")
 	poolOut := flag.String("poolout", "BENCH_pool.json", "output path for the pool benchmark JSON")
+	chainN := flag.Int("chainn", 512, "blocks for the chain validation/reorg benchmark")
+	chainOut := flag.String("chainout", "BENCH_chain.json", "output path for the chain benchmark JSON")
 	flag.Parse()
 
-	if err := dispatch(*run, *n, *profileName, *seed, *benchN, *benchOut, *poolN, *poolWorkers, *poolOut); err != nil {
+	if err := dispatch(*run, *n, *profileName, *seed, *benchN, *benchOut, *poolN, *poolWorkers, *poolOut, *chainN, *chainOut); err != nil {
 		fmt.Fprintln(os.Stderr, "hcbench:", err)
 		os.Exit(1)
 	}
 }
 
-func dispatch(run string, n int, profileName string, seed uint64, benchN int, benchOut string, poolN, poolWorkers int, poolOut string) error {
+func dispatch(run string, n int, profileName string, seed uint64, benchN int, benchOut string, poolN, poolWorkers int, poolOut string, chainN int, chainOut string) error {
 	wants := map[string]bool{}
 	for _, name := range strings.Split(run, ",") {
 		wants[strings.TrimSpace(name)] = true
@@ -152,6 +158,12 @@ func dispatch(run string, n int, profileName string, seed uint64, benchN int, be
 	if all || wants["pool"] {
 		fmt.Println("== Pool share-verification throughput ==")
 		if err := runPoolBench(profileName, poolN, poolWorkers, poolOut); err != nil {
+			return err
+		}
+	}
+	if all || wants["chain"] {
+		fmt.Println("== Chain validation / reorg / replay throughput ==")
+		if err := runChainBench(chainN, chainOut); err != nil {
 			return err
 		}
 	}

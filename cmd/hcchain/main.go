@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	hcchain [-blocks 5] [-profile leela]
+//	hcchain [-blocks 5] [-profile leela] [-datadir /path/to/dir]
+//
+// With -datadir the chain persists to an append-only block log and each
+// run resumes mining from the recovered tip instead of genesis.
 package main
 
 import (
@@ -20,9 +23,10 @@ import (
 func main() {
 	blocks := flag.Int("blocks", 5, "number of blocks to mine")
 	profileName := flag.String("profile", "leela", "reference workload profile")
+	datadir := flag.String("datadir", "", "chain data directory (empty = in-memory, no persistence)")
 	flag.Parse()
 
-	out, err := experiments.MineDemo(context.Background(), *profileName, *blocks, vm.Params{})
+	out, err := experiments.MineDemoAt(context.Background(), *profileName, *blocks, *datadir, vm.Params{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hcchain:", err)
 		os.Exit(1)

@@ -8,11 +8,14 @@
 //	hcpoold [-addr 127.0.0.1:3333] [-http 127.0.0.1:3334]
 //	        [-share-zero-bits 10] [-block-zero-bits 14]
 //	        [-profile leela] [-verify-workers N] [-refresh 10s]
+//	        [-datadir /path/to/dir]
 //
 // Demo-scale defaults: the block target expects ~16k hash evaluations
 // and a share ~1k, so a few hcminer processes on the same machine find
-// shares every few seconds. Stop with SIGINT/SIGTERM for a graceful
-// drain.
+// shares every few seconds. With -datadir the chain is persisted to an
+// append-only block log and the daemon resumes its exact tip, height
+// and total work across restarts. Stop with SIGINT/SIGTERM for a
+// graceful drain.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -41,16 +45,17 @@ func main() {
 	rangeSize := flag.Uint64("range", pool.DefaultRangeSize, "nonce window per subscriber per job")
 	refresh := flag.Duration("refresh", 10*time.Second, "job refresh period (negative disables)")
 	name := flag.String("name", "hcpool", "pool name")
+	datadir := flag.String("datadir", "", "chain data directory (empty = in-memory, no persistence)")
 	flag.Parse()
 
-	if err := run(*addr, *httpAddr, *profileName, *name, uint(*shareZeroBits), uint(*blockZeroBits),
+	if err := run(*addr, *httpAddr, *profileName, *name, *datadir, uint(*shareZeroBits), uint(*blockZeroBits),
 		*verifyWorkers, *queueDepth, *rangeSize, *refresh); err != nil {
 		fmt.Fprintln(os.Stderr, "hcpoold:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, httpAddr, profileName, name string, shareZeroBits, blockZeroBits uint,
+func run(addr, httpAddr, profileName, name, datadir string, shareZeroBits, blockZeroBits uint,
 	verifyWorkers, queueDepth int, rangeSize uint64, refresh time.Duration) error {
 	h, err := hashcore.New(hashcore.WithProfile(profileName))
 	if err != nil {
@@ -59,9 +64,34 @@ func run(addr, httpAddr, profileName, name string, shareZeroBits, blockZeroBits 
 
 	params := blockchain.DefaultParams()
 	params.GenesisBits = pow.TargetToCompact(pow.Target(hashcore.TargetWithZeroBits(blockZeroBits)))
-	chain, err := blockchain.NewChain(params, h)
+	var store blockchain.Store
+	var fs *blockchain.FileStore
+	if datadir != "" {
+		if err := os.MkdirAll(datadir, 0o755); err != nil {
+			return err
+		}
+		fs, err = blockchain.OpenFileStore(filepath.Join(datadir, "blocks.log"))
+		if err != nil {
+			return err
+		}
+		store = fs
+	}
+	node, err := blockchain.OpenNode(blockchain.NodeConfig{
+		Params: params,
+		Hasher: h,
+		Store:  store,
+	})
 	if err != nil {
 		return err
+	}
+	defer node.Close()
+	if fs != nil {
+		if fs.RecoveredTruncation() {
+			fmt.Println("hcpoold: block log had a damaged tail record (crash mid-append?); dropped it")
+		}
+		tip := node.TipID()
+		fmt.Printf("hcpoold: chain at %s: height %d, tip %x…, %d blocks replayed\n",
+			datadir, node.Height(), tip[:8], node.Replayed())
 	}
 
 	srv, err := pool.NewServer(pool.Config{
@@ -73,7 +103,7 @@ func run(addr, httpAddr, profileName, name string, shareZeroBits, blockZeroBits 
 		VerifyWorkers:   verifyWorkers,
 		QueueDepth:      queueDepth,
 		RefreshInterval: refresh,
-	}, pool.WrapHasher(h), pool.NewChainSource(chain, name))
+	}, pool.WrapHasher(h), pool.NewChainSource(node, name))
 	if err != nil {
 		return err
 	}
@@ -95,6 +125,6 @@ func run(addr, httpAddr, profileName, name string, shareZeroBits, blockZeroBits 
 	if err := srv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
-	fmt.Printf("hcpoold: done (%d blocks solved)\n", srv.Blocks())
+	fmt.Printf("hcpoold: done (%d blocks solved, chain height %d)\n", srv.Blocks(), node.Height())
 	return nil
 }

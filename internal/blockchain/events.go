@@ -1,0 +1,86 @@
+package blockchain
+
+import "sync"
+
+// TipEvent announces that the node's best block changed. Height and
+// NewTip describe the new best block; Reorg is true when the old tip is
+// no longer on the best chain (a competing branch overtook it), in
+// which case subscribers must treat any state derived from OldTip —
+// mining jobs above all — as invalid rather than merely stale.
+type TipEvent struct {
+	OldTip Hash
+	NewTip Hash
+	Height int
+	Reorg  bool
+}
+
+// tipFeed fans TipEvents out to subscribers. Publishing never blocks:
+// block acceptance must not be hostage to a slow consumer, so when a
+// subscriber's buffer is full the oldest undelivered event is dropped
+// in favour of the newest. Tip events are state announcements, not a
+// log — the latest one supersedes the rest — so consumers always see
+// the freshest tip even after falling behind.
+type tipFeed struct {
+	mu   sync.Mutex
+	subs map[chan TipEvent]struct{}
+}
+
+func newTipFeed() *tipFeed {
+	return &tipFeed{subs: make(map[chan TipEvent]struct{})}
+}
+
+// subscribe registers a listener with the given buffer (minimum 1) and
+// returns the channel plus a cancel function. Cancel closes the
+// channel after unregistering it, so receivers can range over it.
+func (f *tipFeed) subscribe(buffer int) (<-chan TipEvent, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	ch := make(chan TipEvent, buffer)
+	f.mu.Lock()
+	f.subs[ch] = struct{}{}
+	f.mu.Unlock()
+	cancel := func() {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if _, ok := f.subs[ch]; !ok {
+			return
+		}
+		delete(f.subs, ch)
+		close(ch)
+	}
+	return ch, cancel
+}
+
+// publish delivers ev to every subscriber without blocking. Sends
+// happen under f.mu, so a concurrent cancel cannot close a channel
+// mid-send.
+func (f *tipFeed) publish(ev TipEvent) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for ch := range f.subs {
+		select {
+		case ch <- ev:
+		default:
+			// Full: drop the oldest event, then deliver. With publishes
+			// serialized under f.mu the retry can only fail if a receiver
+			// drained concurrently — which frees space — so the second
+			// send succeeds; the default arm is pure paranoia.
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- ev:
+			default:
+			}
+		}
+	}
+}
+
+// count returns the number of live subscribers.
+func (f *tipFeed) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs)
+}

@@ -1,0 +1,114 @@
+package blockchain
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzHeaderRoundTrip: any 84-byte buffer is a valid header encoding
+// and must round-trip bit-exactly; any other length must be rejected
+// with ErrBadHeader. Headers travel on the pool wire and in block-log
+// records, so Marshal/UnmarshalHeader disagreeing on a single byte
+// would fork validation.
+func FuzzHeaderRoundTrip(f *testing.F) {
+	f.Add(make([]byte, HeaderSize))
+	f.Add(make([]byte, HeaderSize-1))
+	f.Add(make([]byte, HeaderSize+1))
+	f.Add([]byte{})
+	h := Header{Version: 1, PrevHash: Hash{1}, MerkleRoot: Hash{2}, Time: 3, Bits: 0x1d00ffff, Nonce: 5}
+	f.Add(h.Marshal())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalHeader(data)
+		if len(data) != HeaderSize {
+			if err == nil {
+				t.Fatalf("accepted %d-byte header", len(data))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("rejected valid-length header: %v", err)
+		}
+		re := got.Marshal()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("round trip moved bytes:\n in  %x\n out %x", data, re)
+		}
+		// And the prefix view must agree with the full serialization.
+		if !bytes.Equal(got.MiningPrefix(), data[:HeaderSize-8]) {
+			t.Fatal("MiningPrefix disagrees with Marshal")
+		}
+	})
+}
+
+// FuzzVerifyMerkleProof: a freshly built proof must verify, and any
+// single-bit mutation of a path element — or any substitution of the
+// transaction — must not. (Index mutations are excluded: the final odd
+// leaf self-pairs at every level, making its proof index-ambiguous by
+// construction; the unit tests pin the even-index cases.)
+func FuzzVerifyMerkleProof(f *testing.F) {
+	f.Add(uint8(1), uint8(1), uint8(0), uint8(0), uint8(0))
+	f.Add(uint8(7), uint8(5), uint8(3), uint8(2), uint8(11))
+	f.Add(uint8(0), uint8(16), uint8(15), uint8(31), uint8(7))
+
+	f.Fuzz(func(t *testing.T, seed, count, pick, flipByte, flipBit uint8) {
+		n := int(count%16) + 1
+		txs := make([][]byte, n)
+		for i := range txs {
+			txs[i] = []byte{seed, byte(i), byte(i * 5)}
+		}
+		root := MerkleRoot(txs)
+		idx := int(pick) % n
+		proof, err := BuildMerkleProof(txs, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VerifyMerkleProof(root, txs[idx], proof) {
+			t.Fatal("valid proof rejected")
+		}
+
+		// A different transaction under the same proof must fail.
+		if VerifyMerkleProof(root, append([]byte{0xfe}, txs[idx]...), proof) {
+			t.Fatal("forged transaction verified")
+		}
+
+		// Flipping one bit anywhere in the path must fail: the sibling
+		// hashes are inputs to the root computation at every level.
+		if len(proof.Path) > 0 {
+			mutated := MerkleProof{Index: proof.Index, Path: make([]Hash, len(proof.Path))}
+			copy(mutated.Path, proof.Path)
+			elem := int(flipByte) % len(mutated.Path)
+			mutated.Path[elem][int(flipBit)%HashSize] ^= 1 << (flipBit % 8)
+			if VerifyMerkleProof(root, txs[idx], mutated) {
+				t.Fatalf("proof with mutated path element %d verified", elem)
+			}
+		}
+
+		// A proof against the wrong root must fail.
+		wrongRoot := root
+		wrongRoot[0] ^= 0x80
+		if VerifyMerkleProof(wrongRoot, txs[idx], proof) {
+			t.Fatal("proof verified against a different root")
+		}
+	})
+}
+
+// FuzzBlockRecordRoundTrip: the block-log payload codec must round-trip
+// what it wrote and never crash on damaged input — the file store feeds
+// it raw disk bytes after a crash.
+func FuzzBlockRecordRoundTrip(f *testing.F) {
+	b := Block{Header: Header{Version: 1, Bits: 0x1d00ffff}, Txs: [][]byte{[]byte("tx"), {}}}
+	f.Add(marshalBlock(b))
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderSize+4))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		blk, err := unmarshalBlock(data)
+		if err != nil {
+			return // rejection is fine; not crashing is the test
+		}
+		re := marshalBlock(blk)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted record did not round-trip:\n in  %x\n out %x", data, re)
+		}
+	})
+}

@@ -48,8 +48,13 @@ func (h *Header) Marshal() []byte {
 // MiningPrefix serializes everything except the nonce, for use with
 // pow.Miner (which appends the 8-byte nonce itself).
 func (h *Header) MiningPrefix() []byte {
-	full := h.Marshal()
-	return full[:len(full)-8]
+	out := make([]byte, 0, HeaderSize-8)
+	out = binary.LittleEndian.AppendUint32(out, h.Version)
+	out = append(out, h.PrevHash[:]...)
+	out = append(out, h.MerkleRoot[:]...)
+	out = binary.LittleEndian.AppendUint64(out, h.Time)
+	out = binary.LittleEndian.AppendUint32(out, h.Bits)
+	return out
 }
 
 // ErrBadHeader is returned when deserializing a malformed header.

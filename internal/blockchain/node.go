@@ -1,0 +1,377 @@
+package blockchain
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"hashcore/internal/pow"
+)
+
+// NodeConfig parameterizes OpenNode. Zero values select the documented
+// defaults.
+type NodeConfig struct {
+	// Params fixes the consensus rules. Required (use DefaultParams()).
+	Params Params
+	// Hasher is the PoW function blocks are validated with. Required.
+	Hasher pow.Hasher
+	// Store persists accepted blocks. Nil selects a fresh MemStore
+	// (no persistence).
+	Store Store
+	// MaxOrphans bounds the orphan pool. Default 64.
+	MaxOrphans int
+}
+
+// DefaultMaxOrphans is the orphan-pool bound when NodeConfig leaves it
+// zero.
+const DefaultMaxOrphans = 64
+
+// MaxHeadersPerRequest caps one Headers response, as in Bitcoin's
+// getheaders.
+const MaxHeadersPerRequest = 2000
+
+// Node is the concurrency-safe consensus layer: a validated block tree
+// (Chain) behind an RWMutex, persisted through a Store, with a bounded
+// orphan pool for out-of-order arrivals and a tip-change event feed for
+// reactive consumers (the mining pool above all). All methods are safe
+// for concurrent use.
+type Node struct {
+	mu      sync.RWMutex
+	chain   *Chain
+	store   Store
+	orphans *orphanPool
+	feed    *tipFeed
+
+	replaying bool // true only inside OpenNode's store replay
+	replayed  int
+	// storeErr latches the first Append failure. Once the log has
+	// missed a block, persisting that block's descendants would leave a
+	// permanently unreplayable gap (restart would hit ErrUnknownParent
+	// mid-log), so all further block acceptance halts with this error;
+	// reads keep working.
+	storeErr  error
+	closeOnce sync.Once
+}
+
+// OpenNode creates the chain, replays the store through full validation
+// (so a tampered or reordered log cannot produce an invalid tip), and
+// returns a ready node. After a clean replay the node's tip, height and
+// total work are exactly what they were when the store was last
+// written.
+func OpenNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Hasher == nil {
+		return nil, errors.New("blockchain: node needs a hasher")
+	}
+	chain, err := NewChain(cfg.Params, cfg.Hasher)
+	if err != nil {
+		return nil, err
+	}
+	store := cfg.Store
+	if store == nil {
+		store = NewMemStore()
+	}
+	maxOrphans := cfg.MaxOrphans
+	if maxOrphans < 1 {
+		maxOrphans = DefaultMaxOrphans
+	}
+	n := &Node{
+		chain:   chain,
+		store:   store,
+		orphans: newOrphanPool(maxOrphans),
+		feed:    newTipFeed(),
+	}
+	n.replaying = true
+	err = store.Load(func(b Block) error {
+		if _, err := chain.AddBlock(b); err != nil {
+			return fmt.Errorf("blockchain: replaying block log at height %d: %w", chain.Height()+1, err)
+		}
+		n.replayed++
+		return nil
+	})
+	n.replaying = false
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	return n, nil
+}
+
+// Close releases the backing store. The node must not be used after.
+func (n *Node) Close() error {
+	var err error
+	n.closeOnce.Do(func() { err = n.store.Close() })
+	return err
+}
+
+// Replayed returns how many blocks OpenNode recovered from the store.
+func (n *Node) Replayed() int { return n.replayed }
+
+// AddBlock validates and connects b, persists it, connects any orphans
+// that were waiting on it, and publishes a TipEvent if the best block
+// changed. A block whose parent is unknown is parked in the orphan pool
+// and reported as ErrOrphan (which wraps ErrUnknownParent); it will be
+// connected automatically when its parent arrives. Blocks exceeding the
+// store's record bounds are rejected up front (ErrBlockTooLarge), and a
+// store write failure halts all further acceptance (the in-memory tip
+// stays readable) — both invariants exist so the block log is always an
+// exact replayable prefix of the accepted chain.
+func (n *Node) AddBlock(b Block) (Hash, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.storeErr != nil {
+		return Hash{}, n.storeErr
+	}
+	if err := storableBlockErr(b); err != nil {
+		return Hash{}, err
+	}
+	oldTip := n.chain.tip
+
+	id, err := n.chain.AddBlock(b)
+	if err != nil {
+		if errors.Is(err, ErrUnknownParent) {
+			n.orphans.add(b)
+			return Hash{}, ErrOrphan
+		}
+		return Hash{}, err
+	}
+	perr := n.persist(b)
+	if perr == nil {
+		n.connectOrphans(id)
+	}
+
+	// The tip may have moved even on the persist-failure path (the
+	// block is connected in memory); subscribers must still hear it.
+	if tip := n.chain.tip; tip != oldTip {
+		n.feed.publish(TipEvent{
+			OldTip: oldTip.id,
+			NewTip: tip.id,
+			Height: tip.height,
+			Reorg:  ancestorAt(tip, oldTip.height) != oldTip,
+		})
+	}
+	return id, perr
+}
+
+// persist appends an accepted block to the store (never during replay —
+// those blocks are already in it) and latches any failure in storeErr.
+// Caller holds n.mu.
+func (n *Node) persist(b Block) error {
+	if n.replaying {
+		return nil
+	}
+	if err := n.store.Append(b); err != nil {
+		n.storeErr = fmt.Errorf("blockchain: persisting block: %w (node halted to keep the log replayable)", err)
+		return n.storeErr
+	}
+	return nil
+}
+
+// connectOrphans walks the orphan pool connecting every parked block
+// whose ancestry just became complete. Orphans that fail validation
+// once their parent is known are dropped; a persist failure stops the
+// walk (storeErr is latched, nothing further may be accepted). Caller
+// holds n.mu.
+func (n *Node) connectOrphans(parent Hash) {
+	queue := []Hash{parent}
+	for len(queue) > 0 {
+		pid := queue[0]
+		queue = queue[1:]
+		for _, b := range n.orphans.take(pid) {
+			cid, err := n.chain.AddBlock(b)
+			if err != nil {
+				continue // parked block turned out invalid
+			}
+			if n.persist(b) != nil {
+				return
+			}
+			queue = append(queue, cid)
+		}
+	}
+}
+
+// Subscribe registers for tip-change events with the given channel
+// buffer. The returned cancel function unregisters and closes the
+// channel. Delivery never blocks the node: a subscriber that falls
+// behind loses the oldest undelivered events, always keeping the
+// newest.
+func (n *Node) Subscribe(buffer int) (<-chan TipEvent, func()) {
+	return n.feed.subscribe(buffer)
+}
+
+// Template builds a header for the next block under one consistent
+// read-snapshot of the tip: PrevHash, Bits and a timestamp strictly
+// after the parent's (headers never consult a wall clock beyond the
+// caller-supplied now). The merkle callback receives the height and
+// timestamp the block will carry and returns the Merkle root committing
+// to its transactions; it must not call back into the node.
+func (n *Node) Template(now uint64, merkle func(height int, time uint64) Hash) (Header, int, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	tip := n.chain.tip
+	bits, err := n.chain.NextBits(tip.id)
+	if err != nil {
+		return Header{}, 0, err
+	}
+	t := now
+	if t <= tip.header.Time {
+		t = tip.header.Time + 1
+	}
+	height := tip.height + 1
+	h := Header{
+		Version:  1,
+		PrevHash: tip.id,
+		Time:     t,
+		Bits:     bits,
+	}
+	if merkle != nil {
+		h.MerkleRoot = merkle(height, t)
+	}
+	return h, height, nil
+}
+
+// Headers returns up to max best-chain headers after the fork point the
+// locator describes — the seam node-to-node header sync will use. The
+// locator is a list of block IDs, newest first; the first one that is
+// known and on the best chain anchors the response (genesis if none
+// match). max is clamped to MaxHeadersPerRequest.
+func (n *Node) Headers(locator []Hash, max int) []Header {
+	if max <= 0 || max > MaxHeadersPerRequest {
+		max = MaxHeadersPerRequest
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	tip := n.chain.tip
+	start := n.chain.genesis
+	for _, id := range locator {
+		nd, ok := n.chain.nodes[id]
+		if !ok {
+			continue
+		}
+		if ancestorAt(tip, nd.height) == nd {
+			start = nd
+			break
+		}
+	}
+	count := tip.height - start.height
+	if count > max {
+		count = max
+	}
+	if count <= 0 {
+		return nil
+	}
+	out := make([]Header, count)
+	nd := ancestorAt(tip, start.height+count)
+	for i := count - 1; i >= 0; i-- {
+		out[i] = nd.header
+		nd = nd.parent
+	}
+	return out
+}
+
+// Locator returns a block locator for the best chain: the last few
+// tips densely, then exponentially sparser back to genesis — compact
+// enough to ship, dense enough that a peer finds a nearby fork point.
+func (n *Node) Locator() []Hash {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var out []Hash
+	nd := n.chain.tip
+	step := 1
+	for nd != nil {
+		out = append(out, nd.id)
+		if nd.height == 0 {
+			break
+		}
+		if len(out) >= 8 {
+			step *= 2
+		}
+		next := nd.height - step
+		if next < 0 {
+			next = 0
+		}
+		nd = ancestorAt(nd, next)
+	}
+	return out
+}
+
+// ancestorAt walks n's ancestry to the given height (n itself if
+// already at or below it).
+func ancestorAt(n *node, height int) *node {
+	for n != nil && n.height > height {
+		n = n.parent
+	}
+	return n
+}
+
+// Read accessors: each takes one consistent read-snapshot.
+
+// GenesisID returns the identity of the genesis block.
+func (n *Node) GenesisID() Hash {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.chain.GenesisID()
+}
+
+// TipID returns the identity of the current best block.
+func (n *Node) TipID() Hash {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.chain.TipID()
+}
+
+// TipHeader returns the header of the current best block.
+func (n *Node) TipHeader() Header {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.chain.TipHeader()
+}
+
+// Height returns the height of the best block.
+func (n *Node) Height() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.chain.Height()
+}
+
+// TotalWork returns the accumulated expected work of the best chain.
+func (n *Node) TotalWork() *big.Int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.chain.TotalWork()
+}
+
+// NextBits returns the difficulty a child of parentID must carry.
+func (n *Node) NextBits(parentID Hash) (uint32, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.chain.NextBits(parentID)
+}
+
+// HeaderByID returns the header with the given identity.
+func (n *Node) HeaderByID(id Hash) (Header, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.chain.HeaderByID(id)
+}
+
+// HeightOf returns the height of a known block.
+func (n *Node) HeightOf(id Hash) (int, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.chain.HeightOf(id)
+}
+
+// Len returns the number of blocks in the tree (including genesis).
+func (n *Node) Len() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.chain.Len()
+}
+
+// OrphanCount returns the number of parked orphan blocks.
+func (n *Node) OrphanCount() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.orphans.len()
+}

@@ -1,0 +1,105 @@
+package blockchain
+
+import "fmt"
+
+// ErrOrphan is returned by Node.AddBlock when a block's parent is
+// unknown and the block was parked in the orphan pool. It wraps
+// ErrUnknownParent so existing errors.Is checks keep working.
+var ErrOrphan = fmt.Errorf("%w (parked as orphan)", ErrUnknownParent)
+
+// orphan is one parked block plus its cheap identity.
+type orphan struct {
+	block Block
+	key   Hash // sha256d of the header — NOT the PoW digest
+}
+
+// orphanPool parks blocks whose parents have not arrived yet. Orphans
+// are keyed by parent so the arrival of a block can connect its whole
+// parked descendancy at once. The pool is bounded with FIFO eviction:
+// an attacker spraying fake orphans can only evict other orphans, never
+// validated chain state. Blocks here have NOT been PoW-checked (that
+// requires the parent's bits), so identity for dedupe is a cheap
+// sha256d of the header rather than the expensive PoW digest.
+type orphanPool struct {
+	max      int
+	byParent map[Hash][]orphan
+	have     map[Hash]struct{} // dedupe by header sha256d
+	order    []Hash            // insertion order of keys, for eviction
+}
+
+func newOrphanPool(max int) *orphanPool {
+	if max < 1 {
+		max = 1
+	}
+	return &orphanPool{
+		max:      max,
+		byParent: make(map[Hash][]orphan),
+		have:     make(map[Hash]struct{}),
+	}
+}
+
+// add parks b, evicting the oldest orphan at capacity. It reports
+// whether the block was newly parked (false for duplicates).
+func (p *orphanPool) add(b Block) bool {
+	key := sha256d(b.Header.Marshal())
+	if _, dup := p.have[key]; dup {
+		return false
+	}
+	for len(p.order) >= p.max {
+		p.evictOldest()
+	}
+	p.have[key] = struct{}{}
+	p.order = append(p.order, key)
+	p.byParent[b.Header.PrevHash] = append(p.byParent[b.Header.PrevHash], orphan{block: b, key: key})
+	return true
+}
+
+// take removes and returns all orphans waiting on parent.
+func (p *orphanPool) take(parent Hash) []Block {
+	waiting, ok := p.byParent[parent]
+	if !ok {
+		return nil
+	}
+	delete(p.byParent, parent)
+	out := make([]Block, 0, len(waiting))
+	for _, o := range waiting {
+		delete(p.have, o.key)
+		p.dropFromOrder(o.key)
+		out = append(out, o.block)
+	}
+	return out
+}
+
+func (p *orphanPool) evictOldest() {
+	if len(p.order) == 0 {
+		return
+	}
+	key := p.order[0]
+	p.order = p.order[1:]
+	delete(p.have, key)
+	for parent, waiting := range p.byParent {
+		for i, o := range waiting {
+			if o.key == key {
+				waiting = append(waiting[:i], waiting[i+1:]...)
+				if len(waiting) == 0 {
+					delete(p.byParent, parent)
+				} else {
+					p.byParent[parent] = waiting
+				}
+				return
+			}
+		}
+	}
+}
+
+func (p *orphanPool) dropFromOrder(key Hash) {
+	for i, k := range p.order {
+		if k == key {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// len returns the number of parked orphans.
+func (p *orphanPool) len() int { return len(p.order) }

@@ -241,6 +241,13 @@ func RandomXPopulation(n int, masterSeed uint64, vp vm.Params) (*DistReport, err
 // motivation describes. Difficulty is kept low so the demo completes in
 // seconds.
 func MineDemo(ctx context.Context, profileName string, blocks int, vp vm.Params) (string, error) {
+	return MineDemoAt(ctx, profileName, blocks, "", vp)
+}
+
+// MineDemoAt is MineDemo with optional persistence: a non-empty datadir
+// backs the chain with an append-only block log there, and successive
+// runs resume from the recovered tip.
+func MineDemoAt(ctx context.Context, profileName string, blocks int, datadir string, vp vm.Params) (string, error) {
 	w, err := workload.ByName(profileName)
 	if err != nil {
 		return "", err
@@ -249,5 +256,5 @@ func MineDemo(ctx context.Context, profileName string, blocks int, vp vm.Params)
 	if err != nil {
 		return "", err
 	}
-	return mineChain(ctx, coreHasher{hc}, blocks)
+	return mineChain(ctx, coreHasher{hc}, blocks, datadir)
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/big"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -11,40 +13,59 @@ import (
 	"hashcore/internal/pow"
 )
 
-// mineChain mines `blocks` blocks on a fresh chain with the given PoW
-// function at a very easy difficulty, returning a human-readable log.
-func mineChain(ctx context.Context, hasher pow.Hasher, blocks int) (string, error) {
+// mineChain mines `blocks` blocks with the given PoW function at a very
+// easy difficulty, returning a human-readable log. With a non-empty
+// datadir the chain is persisted to an append-only block log there and
+// mining resumes from the recovered tip.
+func mineChain(ctx context.Context, hasher pow.Hasher, blocks int, datadir string) (string, error) {
 	// An extremely easy target (8 leading zero bits) keeps widget-backed
 	// mining demos fast: ~256 expected hashes per block.
 	easy := pow.FromBig(new(big.Int).Rsh(new(big.Int).Lsh(big.NewInt(1), 256), 8))
 	params := blockchain.DefaultParams()
 	params.GenesisBits = pow.TargetToCompact(easy)
 
-	chain, err := blockchain.NewChain(params, hasher)
+	var store blockchain.Store
+	if datadir != "" {
+		if err := os.MkdirAll(datadir, 0o755); err != nil {
+			return "", err
+		}
+		fs, err := blockchain.OpenFileStore(filepath.Join(datadir, "blocks.log"))
+		if err != nil {
+			return "", err
+		}
+		store = fs
+	}
+	node, err := blockchain.OpenNode(blockchain.NodeConfig{
+		Params: params,
+		Hasher: hasher,
+		Store:  store,
+	})
 	if err != nil {
 		return "", err
 	}
+	defer node.Close()
 	miner := pow.NewMiner(hasher, 2)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "mining %d blocks with %s (target %#x)\n", blocks, hasher.Name(), params.GenesisBits)
-	parent := chain.GenesisID()
-	blockTime := params.GenesisTime
+	if datadir != "" {
+		fmt.Fprintf(&b, "datadir %s: resumed at height %d (%d blocks replayed)\n",
+			datadir, node.Height(), node.Replayed())
+	}
+	base := node.Height()
 	for i := 0; i < blocks; i++ {
-		blockTime += params.TargetSpacing
-		bits, err := chain.NextBits(parent)
+		// The template timestamp advances one spacing per block mined in
+		// this run (the demo chain never consults a wall clock).
+		now := node.TipHeader().Time + params.TargetSpacing
+		var txs [][]byte
+		header, height, err := node.Template(now, func(height int, t uint64) blockchain.Hash {
+			txs = [][]byte{[]byte(fmt.Sprintf("coinbase height=%d time=%d", height, t))}
+			return blockchain.MerkleRoot(txs)
+		})
 		if err != nil {
 			return "", err
 		}
-		txs := [][]byte{[]byte(fmt.Sprintf("coinbase %d", i))}
-		header := blockchain.Header{
-			Version:    1,
-			PrevHash:   parent,
-			MerkleRoot: blockchain.MerkleRoot(txs),
-			Time:       blockTime,
-			Bits:       bits,
-		}
-		target, err := pow.CompactToTarget(bits)
+		target, err := pow.CompactToTarget(header.Bits)
 		if err != nil {
 			return "", err
 		}
@@ -54,14 +75,16 @@ func mineChain(ctx context.Context, hasher pow.Hasher, blocks int) (string, erro
 			return "", err
 		}
 		header.Nonce = res.Nonce
-		id, err := chain.AddBlock(blockchain.Block{Header: header, Txs: txs})
+		id, err := node.AddBlock(blockchain.Block{Header: header, Txs: txs})
 		if err != nil {
 			return "", err
 		}
-		fmt.Fprintf(&b, "  block %d: nonce=%d attempts=%d elapsed=%s digest=%x...\n",
-			i+1, res.Nonce, res.Attempts, time.Since(start).Round(time.Millisecond), id[:8])
-		parent = id
+		fmt.Fprintf(&b, "  block %d: height=%d nonce=%d attempts=%d elapsed=%s digest=%x...\n",
+			i+1, height, res.Nonce, res.Attempts, time.Since(start).Round(time.Millisecond), id[:8])
 	}
-	fmt.Fprintf(&b, "chain height %d, total work %v\n", chain.Height(), chain.TotalWork())
+	if node.Height() != base+blocks {
+		return "", fmt.Errorf("mined %d blocks but height moved %d -> %d", blocks, base, node.Height())
+	}
+	fmt.Fprintf(&b, "chain height %d, total work %v\n", node.Height(), node.TotalWork())
 	return b.String(), nil
 }

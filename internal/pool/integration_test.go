@@ -28,10 +28,11 @@ func TestIntegrationShareOverTCP(t *testing.T) {
 	// 2 for a share (~4) — widget-backed hashing is ~ms per evaluation.
 	params := blockchain.DefaultParams()
 	params.GenesisBits = zeroBitsCompact(4)
-	chain, err := blockchain.NewChain(params, h)
+	node, err := blockchain.OpenNode(blockchain.NodeConfig{Params: params, Hasher: h})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer node.Close()
 
 	srv, err := NewServer(Config{
 		Addr:            "127.0.0.1:0",
@@ -43,7 +44,7 @@ func TestIntegrationShareOverTCP(t *testing.T) {
 		QueueDepth:      16,
 		RefreshInterval: -1, // only explicit refreshes; keeps the test deterministic
 		Logf:            t.Logf,
-	}, WrapHasher(h), NewChainSource(chain, "itest"))
+	}, WrapHasher(h), NewChainSource(node, "itest"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,11 +152,12 @@ func TestIntegrationBlockSolvedAdvancesChain(t *testing.T) {
 	}
 	params := blockchain.DefaultParams()
 	params.GenesisBits = zeroBitsCompact(2) // ~4 expected hashes per block
-	chain, err := blockchain.NewChain(params, h)
+	node, err := blockchain.OpenNode(blockchain.NodeConfig{Params: params, Hasher: h})
 	if err != nil {
 		t.Fatal(err)
 	}
-	src := NewChainSource(chain, "itest-block")
+	defer node.Close()
+	src := NewChainSource(node, "itest-block")
 
 	srv, err := NewServer(Config{
 		Addr:            "127.0.0.1:0",

@@ -1,0 +1,243 @@
+package pool
+
+import (
+	"bufio"
+	"context"
+	"encoding/hex"
+	"net"
+	"testing"
+	"time"
+
+	"hashcore/internal/baseline"
+	"hashcore/internal/blockchain"
+	"hashcore/internal/pow"
+)
+
+// solveOn mines a valid block whose parent is parentID, with bits taken
+// from bitsOf (the node, or a scratch chain when the parent is not on
+// the node yet).
+func solveOn(t *testing.T, bitsOf interface {
+	NextBits(blockchain.Hash) (uint32, error)
+}, parentID blockchain.Hash, tm uint64, txs [][]byte) blockchain.Block {
+	t.Helper()
+	bits, err := bitsOf.NextBits(parentID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := blockchain.Header{
+		Version:    1,
+		PrevHash:   parentID,
+		MerkleRoot: blockchain.MerkleRoot(txs),
+		Time:       tm,
+		Bits:       bits,
+	}
+	target, err := pow.CompactToTarget(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pow.NewMiner(baseline.SHA256d{}, 2).Mine(context.Background(), header.MiningPrefix(), target, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header.Nonce = res.Nonce
+	return blockchain.Block{Header: header, Txs: txs}
+}
+
+// prevHashOfNotify extracts the template's parent from a notify's hex
+// header prefix.
+func prevHashOfNotify(t *testing.T, j *JobNotify) blockchain.Hash {
+	t.Helper()
+	raw, err := hex.DecodeString(j.Prefix)
+	if err != nil || len(raw) != blockchain.HeaderSize-8 {
+		t.Fatalf("bad notify prefix (%d bytes): %v", len(raw), err)
+	}
+	var h blockchain.Hash
+	copy(h[:], raw[4:36])
+	return h
+}
+
+// TestReorgBroadcastsCleanJob is the event-path acceptance test: a reorg
+// on the underlying node must reach connected miners as a clean job via
+// tip-event dispatch alone — the server's timer refresh is disabled, so
+// there is no poll interval to hide behind.
+func TestReorgBroadcastsCleanJob(t *testing.T) {
+	node, err := blockchain.OpenNode(blockchain.NodeConfig{
+		Params: blockchain.DefaultParams(),
+		Hasher: baseline.SHA256d{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	srv, err := NewServer(Config{
+		Addr:            "127.0.0.1:0",
+		PoolName:        "reorg-pool",
+		ShareBits:       zeroBitsCompact(4),
+		VerifyWorkers:   1,
+		RefreshInterval: -1, // no timer: only event dispatch can cut jobs
+		Logf:            t.Logf,
+	}, baseline.SHA256d{}, NewChainSource(node, "reorg-pool"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	// A miner subscribes over real TCP.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeMsg(conn, &Envelope{Type: TypeSubscribe, Miner: "reorg-miner"}); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 4096), MaxLineBytes)
+	nextNotify := func(what string) *JobNotify {
+		t.Helper()
+		_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		for sc.Scan() {
+			env, err := parseMsg(sc.Bytes())
+			if err != nil {
+				t.Fatalf("%s: %v", what, err)
+			}
+			if env.Type == TypeNotify {
+				return env.Job
+			}
+		}
+		t.Fatalf("%s: connection ended: %v", what, sc.Err())
+		return nil
+	}
+
+	first := nextNotify("initial job")
+	if prevHashOfNotify(t, first) != node.GenesisID() {
+		t.Fatal("initial job does not build on genesis")
+	}
+
+	// Watch the node's own event feed alongside the miner.
+	events, cancelEvents := node.Subscribe(8)
+	defer cancelEvents()
+
+	// Extend the chain externally (a competing miner found a block):
+	// the pool must push a clean job on the new tip, no polling.
+	tm := blockchain.DefaultParams().GenesisTime
+	a1 := solveOn(t, node, node.GenesisID(), tm+30, [][]byte{[]byte("a1")})
+	a1ID, err := node.AddBlock(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev := <-events; ev.Reorg {
+		t.Fatalf("extension flagged as reorg: %+v", ev)
+	}
+	ext := nextNotify("job after external block")
+	if !ext.Clean {
+		t.Error("job after external block is not clean")
+	}
+	if prevHashOfNotify(t, ext) != a1ID {
+		t.Error("job after external block does not build on the new tip")
+	}
+
+	// Now a heavier fork from genesis overtakes the tip: b1 ties (no
+	// tip change), b2 wins — the node must flag Reorg and the miner
+	// must see a clean job on the fork tip.
+	scratch, err := blockchain.NewChain(blockchain.DefaultParams(), baseline.SHA256d{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := solveOn(t, scratch, scratch.GenesisID(), tm+31, [][]byte{[]byte("b1")})
+	b1ID, err := scratch.AddBlock(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.AddBlock(b1); err != nil {
+		t.Fatal(err)
+	}
+	b2 := solveOn(t, scratch, b1ID, tm+62, [][]byte{[]byte("b2")})
+	b2ID, err := node.AddBlock(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ev := <-events
+	if !ev.Reorg {
+		t.Fatalf("fork takeover not flagged as reorg: %+v", ev)
+	}
+	if ev.NewTip != b2ID || ev.Height != 2 {
+		t.Fatalf("reorg event = %+v, want tip %x height 2", ev, b2ID[:8])
+	}
+
+	reorgJob := nextNotify("job after reorg")
+	if !reorgJob.Clean {
+		t.Error("post-reorg job is not clean")
+	}
+	if prevHashOfNotify(t, reorgJob) != b2ID {
+		t.Error("post-reorg job does not build on the fork tip")
+	}
+	if reorgJob.Height != 3 {
+		t.Errorf("post-reorg job height = %d, want 3", reorgJob.Height)
+	}
+}
+
+// TestTemplatesNeverIdentical pins the extranonce satellite: two
+// templates pulled in the same second on the same tip must differ in
+// Merkle root (and therefore in header bytes).
+func TestTemplatesNeverIdentical(t *testing.T) {
+	node, err := blockchain.OpenNode(blockchain.NodeConfig{
+		Params: blockchain.DefaultParams(),
+		Hasher: baseline.SHA256d{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	cs := NewChainSource(node, "xn-pool")
+	frozen := time.Unix(1_700_000_000, 0)
+	cs.now = func() time.Time { return frozen } // same wall clock for every call
+
+	h1, _, err := cs.Template()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _, err := cs.Template()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.MerkleRoot == h2.MerkleRoot {
+		t.Fatal("two same-second templates share a Merkle root")
+	}
+	if string(h1.Marshal()) == string(h2.Marshal()) {
+		t.Fatal("two same-second templates are byte-identical")
+	}
+	// Both must still be submittable: the source remembered both tx sets.
+	for i, h := range []blockchain.Header{h1, h2} {
+		target, err := pow.CompactToTarget(h.Bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := pow.NewMiner(baseline.SHA256d{}, 2).Mine(context.Background(), h.MiningPrefix(), target, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Nonce = res.Nonce
+		if err := cs.SubmitBlock(h); err != nil {
+			t.Fatalf("template %d not submittable: %v", i, err)
+		}
+		if i == 0 {
+			// After the first solve the tip moved; the second header is
+			// now a stale side-block but must still reassemble and land
+			// in the tree (as a fork), not error on missing txs.
+			continue
+		}
+	}
+	if node.Len() != 3 { // genesis + both solved templates
+		t.Errorf("tree has %d blocks, want 3", node.Len())
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hashcore/internal/blockchain"
 )
 
 // Config parameterizes a pool server. Zero values select the documented
@@ -98,6 +100,11 @@ type Server struct {
 	acct   *Accounting
 	pipe   *Pipeline
 
+	// watcher is non-nil when src can push tip-change events; the
+	// server then reacts to reorgs and competing blocks with an
+	// immediate clean job instead of relying on timer polling.
+	watcher TipWatcher
+
 	ln     net.Listener
 	httpLn net.Listener
 	httpSv *http.Server
@@ -133,6 +140,9 @@ func NewServer(cfg Config, hasher Hasher, src TemplateSource) (*Server, error) {
 		acct:   NewAccounting(),
 		conns:  make(map[*serverConn]struct{}),
 		quit:   make(chan struct{}),
+	}
+	if w, ok := src.(TipWatcher); ok {
+		s.watcher = w
 	}
 	validator := NewShareValidator(jm, s.seen, s.acct, s.onBlock)
 	s.pipe = NewPipeline(validator, hasher, cfg.VerifyWorkers, cfg.QueueDepth)
@@ -181,6 +191,11 @@ func (s *Server) Start() error {
 	if s.cfg.RefreshInterval > 0 {
 		s.wg.Add(1)
 		go s.refreshLoop()
+	}
+	if s.watcher != nil {
+		events, cancel := s.watcher.SubscribeTips(16)
+		s.wg.Add(1)
+		go s.tipLoop(events, cancel)
 	}
 	s.cfg.Logf("pool %q serving %s on %s (share bits %#x, %d verify workers)",
 		s.cfg.PoolName, s.hasher.Name(), ln.Addr(), s.cfg.ShareBits, s.cfg.VerifyWorkers)
@@ -333,8 +348,40 @@ func (s *Server) refreshLoop() {
 	}
 }
 
+// tipLoop reacts to tip-change events from the consensus node: every
+// move of the best block — a block this pool solved, a competing
+// miner's block, a reorg — invalidates all outstanding work, so the
+// loop cuts a clean job on the new tip and fans it out within one event
+// dispatch, with no poll interval in the path.
+func (s *Server) tipLoop(events <-chan blockchain.TipEvent, cancel func()) {
+	defer s.wg.Done()
+	defer cancel()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			if ev.Reorg {
+				s.cfg.Logf("pool: chain reorg to %x… at height %d — invalidating all jobs", ev.NewTip[:8], ev.Height)
+			}
+			job, err := s.jm.Refresh(true)
+			if err != nil {
+				s.cfg.Logf("pool: job refresh after tip change: %v", err)
+				continue
+			}
+			s.broadcastJob(job)
+		}
+	}
+}
+
 // onBlock runs on a verification worker when a share solves a block:
-// submit it upstream, then cut a clean job on the new tip.
+// submit it upstream, then cut a clean job on the new tip. With an
+// event-driven source the submission itself triggers a tip event and
+// tipLoop cuts the clean job; the explicit refresh here is only the
+// fallback for sources that cannot push tip changes.
 func (s *Server) onBlock(job *Job, digest [32]byte, nonce uint64) {
 	header := job.Header
 	header.Nonce = nonce
@@ -345,6 +392,9 @@ func (s *Server) onBlock(job *Job, digest [32]byte, nonce uint64) {
 	s.blocks.Add(1)
 	s.cfg.Logf("pool: block solved at height %d (job %s nonce %d digest %x…)",
 		job.Height, job.ID, nonce, digest[:8])
+	if s.watcher != nil {
+		return
+	}
 	next, err := s.jm.Refresh(true)
 	if err != nil {
 		s.cfg.Logf("pool: job refresh after block: %v", err)

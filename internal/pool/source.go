@@ -3,6 +3,7 @@ package pool
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hashcore/internal/blockchain"
@@ -12,25 +13,42 @@ import (
 // blocks back. Implementations must be safe for concurrent use.
 type TemplateSource interface {
 	// Template returns a header for the next block with a zero nonce,
-	// plus the height that block would occupy. Each call may roll the
-	// timestamp, so successive templates differ.
+	// plus the height that block would occupy. Every call must return a
+	// distinct header (ChainSource guarantees this with a coinbase
+	// extranonce), so successive jobs never alias each other's search
+	// space.
 	Template() (blockchain.Header, int, error)
 	// SubmitBlock submits a header whose PoW meets its own Bits. The
 	// source reattaches the transactions it committed to in Template.
 	SubmitBlock(h blockchain.Header) error
 }
 
-// ChainSource adapts a blockchain.Chain — which is not safe for
-// concurrent use — into a serialized TemplateSource. Templates commit to
-// a single synthetic coinbase transaction tagged with the pool name and
-// height; the transactions behind each Merkle root are retained (bounded)
-// so solved headers can be reassembled into full blocks.
-type ChainSource struct {
-	mu    sync.Mutex
-	chain *blockchain.Chain
-	tag   string
-	now   func() time.Time
+// TipWatcher is optionally implemented by template sources backed by a
+// live consensus node. The server subscribes and reacts to every tip
+// change — a solved block, a competing miner's block, a reorg — with an
+// immediate clean job instead of waiting for a poll interval.
+type TipWatcher interface {
+	// SubscribeTips registers for tip-change events; the cancel function
+	// unregisters and closes the channel.
+	SubscribeTips(buffer int) (<-chan blockchain.TipEvent, func())
+}
 
+// ChainSource adapts a blockchain.Node into a TemplateSource +
+// TipWatcher. Templates commit to a single synthetic coinbase
+// transaction tagged with the pool name, height and a monotonic
+// extranonce; the transactions behind each Merkle root are retained
+// (bounded) so solved headers can be reassembled into full blocks.
+type ChainSource struct {
+	node *blockchain.Node
+	tag  string
+	now  func() time.Time
+
+	// extranonce makes every template's coinbase — and therefore its
+	// Merkle root and header — unique, even for templates built on the
+	// same tip within the same second.
+	extranonce atomic.Uint64
+
+	mu sync.Mutex
 	// txs maps template Merkle roots to the committed transactions.
 	// Bounded FIFO: older roots than txsCap templates ago are forgotten,
 	// which also naturally stales their jobs.
@@ -42,46 +60,35 @@ type ChainSource struct {
 // retains. Must comfortably exceed the job retention window.
 const txsCap = 64
 
-// NewChainSource wraps chain. The tag goes into coinbase payloads so
+// NewChainSource wraps node. The tag goes into coinbase payloads so
 // every pool instance produces distinct Merkle roots.
-func NewChainSource(chain *blockchain.Chain, tag string) *ChainSource {
+func NewChainSource(node *blockchain.Node, tag string) *ChainSource {
 	return &ChainSource{
-		chain: chain,
-		tag:   tag,
-		now:   time.Now,
-		txs:   make(map[blockchain.Hash][][]byte),
+		node: node,
+		tag:  tag,
+		now:  time.Now,
+		txs:  make(map[blockchain.Hash][][]byte),
 	}
 }
 
-// Template builds a header extending the current best tip.
+// Template builds a header extending the current best tip. The tip
+// snapshot (parent, bits, height, timestamp floor) is taken atomically
+// by the node; the extranonce guarantees two templates are never
+// byte-identical.
 func (cs *ChainSource) Template() (blockchain.Header, int, error) {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-
-	tip := cs.chain.TipID()
-	tipHeader := cs.chain.TipHeader()
-	bits, err := cs.chain.NextBits(tip)
+	var txs [][]byte
+	header, height, err := cs.node.Template(uint64(cs.now().Unix()),
+		func(height int, t uint64) blockchain.Hash {
+			xn := cs.extranonce.Add(1)
+			txs = [][]byte{[]byte(fmt.Sprintf("coinbase pool=%s height=%d time=%d xn=%d", cs.tag, height, t, xn))}
+			return blockchain.MerkleRoot(txs)
+		})
 	if err != nil {
 		return blockchain.Header{}, 0, err
 	}
-	height := cs.chain.Height() + 1
-
-	// The chain requires strictly increasing timestamps and never
-	// consults a wall clock itself.
-	t := uint64(cs.now().Unix())
-	if t <= tipHeader.Time {
-		t = tipHeader.Time + 1
-	}
-
-	txs := [][]byte{[]byte(fmt.Sprintf("coinbase pool=%s height=%d time=%d", cs.tag, height, t))}
-	header := blockchain.Header{
-		Version:    1,
-		PrevHash:   tip,
-		MerkleRoot: blockchain.MerkleRoot(txs),
-		Time:       t,
-		Bits:       bits,
-	}
+	cs.mu.Lock()
 	cs.remember(header.MerkleRoot, txs)
+	cs.mu.Unlock()
 	return header, height, nil
 }
 
@@ -99,22 +106,26 @@ func (cs *ChainSource) remember(root blockchain.Hash, txs [][]byte) {
 	cs.order = append(cs.order, root)
 }
 
-// SubmitBlock reassembles the block behind h's Merkle root and adds it to
-// the chain.
+// SubmitBlock reassembles the block behind h's Merkle root and adds it
+// to the node.
 func (cs *ChainSource) SubmitBlock(h blockchain.Header) error {
 	cs.mu.Lock()
-	defer cs.mu.Unlock()
 	txs, ok := cs.txs[h.MerkleRoot]
+	cs.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("pool: no transactions retained for merkle root %x", h.MerkleRoot[:8])
 	}
-	_, err := cs.chain.AddBlock(blockchain.Block{Header: h, Txs: txs})
+	_, err := cs.node.AddBlock(blockchain.Block{Header: h, Txs: txs})
 	return err
 }
 
-// Height returns the chain's current best height.
-func (cs *ChainSource) Height() int {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	return cs.chain.Height()
+// SubscribeTips forwards to the node's tip-event feed.
+func (cs *ChainSource) SubscribeTips(buffer int) (<-chan blockchain.TipEvent, func()) {
+	return cs.node.Subscribe(buffer)
 }
+
+// Height returns the node's current best height.
+func (cs *ChainSource) Height() int { return cs.node.Height() }
+
+// Node exposes the underlying consensus node.
+func (cs *ChainSource) Node() *blockchain.Node { return cs.node }

@@ -186,7 +186,7 @@ func (b *Builder) materialize() {
 	off := 0
 	for bi := 0; bi < nb; bi++ {
 		n := counts[bi]
-		b.program.Blocks[bi].Instrs = arena[off:off : off+n]
+		b.program.Blocks[bi].Instrs = arena[off : off : off+n]
 		off += n
 	}
 	for i := range b.log {
