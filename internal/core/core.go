@@ -119,7 +119,7 @@ func (f *Func) ProfileName() string { return f.gen.Profile().Name }
 // managing sessions explicitly.
 func (f *Func) Hash(input []byte) (Digest, error) {
 	s := f.session()
-	d, err := s.hash(input, nil)
+	d, err := s.hash(input, nil, nil)
 	f.sessions.Put(s)
 	return d, err
 }
@@ -129,7 +129,7 @@ func (f *Func) Hash(input []byte) (Digest, error) {
 // from real PoW evaluations).
 func (f *Func) HashObserved(input []byte, obs vm.Observer) (Digest, error) {
 	s := f.session()
-	d, err := s.hash(input, obs)
+	d, err := s.hash(input, obs, nil)
 	f.sessions.Put(s)
 	return d, err
 }
@@ -156,7 +156,7 @@ func (f *Func) Sum(input []byte) Digest {
 func (f *Func) runWidget(seed perfprox.Seed, obs vm.Observer) ([]byte, error) {
 	s := f.session()
 	defer f.sessions.Put(s)
-	if err := s.runWidget(seed, obs); err != nil {
+	if err := s.runWidget(seed, obs, nil); err != nil {
 		return nil, err
 	}
 	return append([]byte(nil), s.res.Output...), nil

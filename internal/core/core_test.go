@@ -380,3 +380,38 @@ func BenchmarkHashLeela(b *testing.B) {
 		}
 	}
 }
+
+// TestHashTimedMatchesHash asserts the instrumented session path produces
+// bit-identical digests to the plain one and accumulates a sane phase
+// split: both phases nonzero, retired counted, one accumulation per call.
+func TestHashTimedMatchesHash(t *testing.T) {
+	f, err := New(Options{Profile: tinyProfile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.NewSession()
+	var pt PhaseTimings
+	for i := 0; i < 3; i++ {
+		input := []byte{byte(i), 1, 2, 3}
+		want, err := f.Hash(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.HashTimed(input, &pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("input %d: HashTimed digest %x != Hash digest %x", i, got, want)
+		}
+	}
+	if pt.Hashes != 3 {
+		t.Errorf("PhaseTimings.Hashes = %d, want 3", pt.Hashes)
+	}
+	if pt.GenNs <= 0 || pt.ExecNs <= 0 {
+		t.Errorf("phase split not accumulated: gen %d ns, exec %d ns", pt.GenNs, pt.ExecNs)
+	}
+	if pt.Retired == 0 {
+		t.Error("PhaseTimings.Retired = 0, want > 0")
+	}
+}

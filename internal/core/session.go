@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"hashcore/internal/asm"
 	"hashcore/internal/perfprox"
@@ -39,17 +40,44 @@ func (f *Func) NewSession() *Session {
 // Hash computes the HashCore digest of input using the session's reusable
 // state. It is equivalent to (but does not allocate like) Func.Hash.
 func (s *Session) Hash(input []byte) (Digest, error) {
-	return s.hash(input, nil)
+	return s.hash(input, nil, nil)
+}
+
+// PhaseTimings accumulates the wall-clock split of the widget pipeline
+// across HashTimed calls: generation (hash seed -> validated program),
+// execution (VM load + run) and the retired widget instructions. The gate
+// applications are the (small) remainder against total hash time. Used by
+// the benchmark harness to attribute performance movement to the right
+// half of the pipeline.
+type PhaseTimings struct {
+	// GenNs is nanoseconds spent generating widget programs (for the
+	// source pipeline: rendering and re-assembling them too).
+	GenNs int64
+	// ExecNs is nanoseconds spent loading programs into the VM and
+	// executing them.
+	ExecNs int64
+	// Retired is the total number of retired widget instructions.
+	Retired uint64
+	// Hashes is the number of HashTimed calls accumulated.
+	Hashes uint64
+}
+
+// HashTimed is Hash with per-phase instrumentation: the generation and
+// execution wall time and retired-instruction count of every widget are
+// accumulated into t. Digests are identical to Hash.
+func (s *Session) HashTimed(input []byte, t *PhaseTimings) (Digest, error) {
+	t.Hashes++
+	return s.hash(input, nil, t)
 }
 
 // hash runs the full pipeline: s = G(x), then widgets chained through the
 // gate. obs may be nil (the VM then takes its specialized unobserved
-// loop).
-func (s *Session) hash(input []byte, obs vm.Observer) (Digest, error) {
+// loop); t may be nil (no timing instrumentation).
+func (s *Session) hash(input []byte, obs vm.Observer, t *PhaseTimings) (Digest, error) {
 	f := s.f
 	seed := f.gate.Sum(input)
 	for i := 0; i < f.widgets; i++ {
-		if err := s.runWidget(perfprox.Seed(seed), obs); err != nil {
+		if err := s.runWidget(perfprox.Seed(seed), obs, t); err != nil {
 			return Digest{}, err
 		}
 		s.buf = append(append(s.buf[:0], seed[:]...), s.res.Output...)
@@ -60,8 +88,12 @@ func (s *Session) hash(input []byte, obs vm.Observer) (Digest, error) {
 
 // runWidget executes W(s) into s.res: generate (optionally round-tripping
 // through source), load into the session VM, run.
-func (s *Session) runWidget(seed perfprox.Seed, obs vm.Observer) error {
+func (s *Session) runWidget(seed perfprox.Seed, obs vm.Observer, t *PhaseTimings) error {
 	f := s.f
+	var mark time.Time
+	if t != nil {
+		mark = time.Now()
+	}
 	if f.useSrc {
 		// The paper-faithful textual pipeline allocates by design (it
 		// renders and re-parses source); sessions only reuse the VM here.
@@ -73,6 +105,11 @@ func (s *Session) runWidget(seed perfprox.Seed, obs vm.Observer) error {
 		if err != nil {
 			return fmt.Errorf("core: compiling generated source: %w", err)
 		}
+		if t != nil {
+			now := time.Now()
+			t.GenNs += now.Sub(mark).Nanoseconds()
+			mark = now
+		}
 		if err := s.m.Load(widget); err != nil {
 			return err
 		}
@@ -81,10 +118,19 @@ func (s *Session) runWidget(seed perfprox.Seed, obs vm.Observer) error {
 		if err != nil {
 			return err
 		}
+		if t != nil {
+			now := time.Now()
+			t.GenNs += now.Sub(mark).Nanoseconds()
+			mark = now
+		}
 		// The builder validated the program during BuildInto; skip the
 		// VM's second structural pass.
 		s.m.LoadTrusted(widget)
 	}
 	s.m.RunInto(f.vparams, obs, &s.res)
+	if t != nil {
+		t.ExecNs += time.Since(mark).Nanoseconds()
+		t.Retired += s.res.Retired
+	}
 	return nil
 }

@@ -145,6 +145,217 @@ const (
 	OpVRed   Opcode = 60 // dst  = xor-fold of va's lanes
 )
 
+// Fused superinstructions. These are execution-internal opcodes produced by
+// the VM's peephole fuser for hot adjacent instruction pairs; they are NOT
+// part of the widget wire format (Valid reports false), never appear in a
+// prog.Program, and — unlike architectural opcodes — may be renumbered
+// freely. They sit directly above the architectural opcode space so the
+// interpreter's dispatch switch stays dense; if the architectural space
+// ever grows past FuseBase, bump FuseBase.
+//
+// Each fused opcode retires as TWO architectural instructions (its class
+// accounting is the sum of both halves' classes), and its semantics are
+// exactly "first half, then second half" — fusion only removes dispatch
+// overhead, never reorders or combines arithmetic.
+const (
+	// FuseBase is the first fused opcode value.
+	FuseBase Opcode = 64
+
+	OpFuseCmpLTBeq Opcode = 64 // cmplt d,a,b ; beq x,y -> T
+	OpFuseCmpLTBne Opcode = 65 // cmplt d,a,b ; bne x,y -> T
+	OpFuseCmpEQBeq Opcode = 66 // cmpeq d,a,b ; beq x,y -> T
+	OpFuseCmpEQBne Opcode = 67 // cmpeq d,a,b ; bne x,y -> T
+	OpFuseAddIBeq  Opcode = 68 // addi d,a,imm ; beq x,y -> T
+	OpFuseAddIBne  Opcode = 69 // addi d,a,imm ; bne x,y -> T
+	OpFuseMovIAdd  Opcode = 70 // movi m,imm ; add d,a,b
+	OpFuseMovISub  Opcode = 71 // movi m,imm ; sub d,a,b
+	OpFuseMovIXor  Opcode = 72 // movi m,imm ; xor d,a,b
+	OpFuseMovIAnd  Opcode = 73 // movi m,imm ; and d,a,b
+	OpFuseMovIOr   Opcode = 74 // movi m,imm ; or  d,a,b
+	OpFuseAddILoad Opcode = 75 // addi d,a,imm ; load d2 = mem[a2 + disp]
+	OpFuseAddIStor Opcode = 76 // addi d,a,imm ; store mem[a2 + disp] = b2
+	OpFuseMulAdd   Opcode = 77 // mul d,a,b ; add d2,a2,b2
+	OpFuseFMulFAdd Opcode = 78 // fmul fd,fa,fb ; fadd fd2,fa2,fb2
+	OpFuseRorAnd   Opcode = 79 // ror d,a,b ; and d2,a2,b2 (diamond condition prefix)
+
+	// The x+jmp family: every non-control opcode fuses with a following
+	// unconditional jump (generated branch-diamond arms always end with
+	// one). FuseJmpBase + the family's index below. The encoding is
+	// uniform: the first half keeps its normal dst/a/b/imm fields and the
+	// jump's target block lands in target.
+	FuseJmpBase Opcode = 80
+
+	OpFuseAddJmp    Opcode = 80
+	OpFuseSubJmp    Opcode = 81
+	OpFuseAndJmp    Opcode = 82
+	OpFuseOrJmp     Opcode = 83
+	OpFuseXorJmp    Opcode = 84
+	OpFuseShlJmp    Opcode = 85
+	OpFuseShrJmp    Opcode = 86
+	OpFuseRorJmp    Opcode = 87
+	OpFuseCmpLTJmp  Opcode = 88
+	OpFuseCmpEQJmp  Opcode = 89
+	OpFuseMovJmp    Opcode = 90
+	OpFuseMovIJmp   Opcode = 91
+	OpFuseAddIJmp   Opcode = 92
+	OpFuseMulJmp    Opcode = 93
+	OpFuseMulHJmp   Opcode = 94
+	OpFuseFAddJmp   Opcode = 95
+	OpFuseFSubJmp   Opcode = 96
+	OpFuseFMulJmp   Opcode = 97
+	OpFuseFDivJmp   Opcode = 98
+	OpFuseFSqrtJmp  Opcode = 99
+	OpFuseFMovJmp   Opcode = 100
+	OpFuseFCvtJmp   Opcode = 101
+	OpFuseFToIJmp   Opcode = 102
+	OpFuseLoadJmp   Opcode = 103
+	OpFuseFLoadJmp  Opcode = 104
+	OpFuseStoreJmp  Opcode = 105
+	OpFuseFStoreJmp Opcode = 106
+	OpFuseVAddJmp   Opcode = 107
+	OpFuseVXorJmp   Opcode = 108
+	OpFuseVMulJmp   Opcode = 109
+	OpFuseVBcastJmp Opcode = 110
+	OpFuseVRedJmp   Opcode = 111
+
+	fuseJmpEnd Opcode = 112 // one past the last x+jmp opcode
+
+	// Generic ALU pair family: the three highest-weight integer-ALU filler
+	// opcodes fused pairwise ({add,sub,xor} x {add,sub,xor}), covering the
+	// most frequent adjacencies inside straight-line filler runs. Encoding
+	// matches mul+add: first op in dst/a/b, second packed into aux.
+	OpFuseAddAdd Opcode = 112
+	OpFuseAddSub Opcode = 113
+	OpFuseAddXor Opcode = 114
+	OpFuseSubAdd Opcode = 115
+	OpFuseSubSub Opcode = 116
+	OpFuseSubXor Opcode = 117
+	OpFuseXorAdd Opcode = 118
+	OpFuseXorSub Opcode = 119
+	OpFuseXorXor Opcode = 120
+
+	fuseEnd Opcode = 121 // one past the last fused opcode
+)
+
+// IsFusedJmp reports whether op is an x+jmp superinstruction.
+func (op Opcode) IsFusedJmp() bool { return op >= FuseJmpBase && op < fuseJmpEnd }
+
+// fusePairs maps each fused opcode to the architectural pair it replaces.
+// This table is the single source of truth for what fuses: Fuse and
+// FuseParts are both derived from it.
+var fusePairs = [...]struct {
+	fused, first, second Opcode
+}{
+	{OpFuseCmpLTBeq, OpCmpLT, OpBeq},
+	{OpFuseCmpLTBne, OpCmpLT, OpBne},
+	{OpFuseCmpEQBeq, OpCmpEQ, OpBeq},
+	{OpFuseCmpEQBne, OpCmpEQ, OpBne},
+	{OpFuseAddIBeq, OpAddI, OpBeq},
+	{OpFuseAddIBne, OpAddI, OpBne},
+	{OpFuseMovIAdd, OpMovI, OpAdd},
+	{OpFuseMovISub, OpMovI, OpSub},
+	{OpFuseMovIXor, OpMovI, OpXor},
+	{OpFuseMovIAnd, OpMovI, OpAnd},
+	{OpFuseMovIOr, OpMovI, OpOr},
+	{OpFuseAddILoad, OpAddI, OpLoad},
+	{OpFuseAddIStor, OpAddI, OpStore},
+	{OpFuseMulAdd, OpMul, OpAdd},
+	{OpFuseFMulFAdd, OpFMul, OpFAdd},
+	{OpFuseRorAnd, OpRor, OpAnd},
+
+	{OpFuseAddJmp, OpAdd, OpJmp},
+	{OpFuseSubJmp, OpSub, OpJmp},
+	{OpFuseAndJmp, OpAnd, OpJmp},
+	{OpFuseOrJmp, OpOr, OpJmp},
+	{OpFuseXorJmp, OpXor, OpJmp},
+	{OpFuseShlJmp, OpShl, OpJmp},
+	{OpFuseShrJmp, OpShr, OpJmp},
+	{OpFuseRorJmp, OpRor, OpJmp},
+	{OpFuseCmpLTJmp, OpCmpLT, OpJmp},
+	{OpFuseCmpEQJmp, OpCmpEQ, OpJmp},
+	{OpFuseMovJmp, OpMov, OpJmp},
+	{OpFuseMovIJmp, OpMovI, OpJmp},
+	{OpFuseAddIJmp, OpAddI, OpJmp},
+	{OpFuseMulJmp, OpMul, OpJmp},
+	{OpFuseMulHJmp, OpMulH, OpJmp},
+	{OpFuseFAddJmp, OpFAdd, OpJmp},
+	{OpFuseFSubJmp, OpFSub, OpJmp},
+	{OpFuseFMulJmp, OpFMul, OpJmp},
+	{OpFuseFDivJmp, OpFDiv, OpJmp},
+	{OpFuseFSqrtJmp, OpFSqrt, OpJmp},
+	{OpFuseFMovJmp, OpFMov, OpJmp},
+	{OpFuseFCvtJmp, OpFCvt, OpJmp},
+	{OpFuseFToIJmp, OpFToI, OpJmp},
+	{OpFuseLoadJmp, OpLoad, OpJmp},
+	{OpFuseFLoadJmp, OpFLoad, OpJmp},
+	{OpFuseStoreJmp, OpStore, OpJmp},
+	{OpFuseFStoreJmp, OpFStore, OpJmp},
+	{OpFuseVAddJmp, OpVAdd, OpJmp},
+	{OpFuseVXorJmp, OpVXor, OpJmp},
+	{OpFuseVMulJmp, OpVMul, OpJmp},
+	{OpFuseVBcastJmp, OpVBcast, OpJmp},
+	{OpFuseVRedJmp, OpVRed, OpJmp},
+
+	{OpFuseAddAdd, OpAdd, OpAdd},
+	{OpFuseAddSub, OpAdd, OpSub},
+	{OpFuseAddXor, OpAdd, OpXor},
+	{OpFuseSubAdd, OpSub, OpAdd},
+	{OpFuseSubSub, OpSub, OpSub},
+	{OpFuseSubXor, OpSub, OpXor},
+	{OpFuseXorAdd, OpXor, OpAdd},
+	{OpFuseXorSub, OpXor, OpSub},
+	{OpFuseXorXor, OpXor, OpXor},
+}
+
+// fuseLUT is the dense pair -> fused-opcode lookup used by the VM's load-time
+// fuser (architectural opcodes are < FuseBase, so first*FuseBase+second fits).
+var fuseLUT = func() [int(FuseBase) * int(FuseBase)]Opcode {
+	var t [int(FuseBase) * int(FuseBase)]Opcode
+	for _, p := range fusePairs {
+		t[int(p.first)*int(FuseBase)+int(p.second)] = p.fused
+	}
+	return t
+}()
+
+// fuseInfo maps a fused opcode to its halves and mnemonic.
+var fuseInfo = func() [fuseEnd]struct {
+	first, second Opcode
+	name          string
+} {
+	var t [fuseEnd]struct {
+		first, second Opcode
+		name          string
+	}
+	for _, p := range fusePairs {
+		t[p.fused].first = p.first
+		t[p.fused].second = p.second
+		t[p.fused].name = opcodes[p.first].name + "." + opcodes[p.second].name
+	}
+	return t
+}()
+
+// IsFused reports whether op is a fused superinstruction.
+func (op Opcode) IsFused() bool { return op >= FuseBase && op < fuseEnd && fuseInfo[op].first != 0 }
+
+// Fuse returns the fused superinstruction replacing the adjacent pair
+// (first, second), if the pair is fusible by opcode. Callers may impose
+// additional operand constraints (the VM does, for immediate ranges).
+func Fuse(first, second Opcode) (Opcode, bool) {
+	if first >= FuseBase || second >= FuseBase {
+		return OpInvalid, false
+	}
+	f := fuseLUT[int(first)*int(FuseBase)+int(second)]
+	return f, f != OpInvalid
+}
+
+// FuseParts returns the architectural pair a fused opcode replaces.
+func (op Opcode) FuseParts() (first, second Opcode, ok bool) {
+	if !op.IsFused() {
+		return OpInvalid, OpInvalid, false
+	}
+	return fuseInfo[op].first, fuseInfo[op].second, true
+}
+
 // opcodeInfo captures static properties of an opcode.
 type opcodeInfo struct {
 	name  string
@@ -208,23 +419,55 @@ var mnemonics = func() map[string]Opcode {
 	return m
 }()
 
-// Valid reports whether op is a defined opcode.
+// classTable is the dense opcode -> class table backing ClassOf. The map is
+// the source of truth; the array keeps the VM's decode loop (one ClassOf per
+// decoded instruction) free of map-hashing overhead.
+var classTable = func() [256]Class {
+	var t [256]Class
+	for op, info := range opcodes {
+		t[op] = info.class
+	}
+	return t
+}()
+
+// validTable is the dense opcode -> validity table backing Valid; like
+// classTable it exists so per-instruction validation passes avoid map
+// lookups (Validate runs over every instruction of every generated widget,
+// once per hash).
+var validTable = func() [256]bool {
+	var t [256]bool
+	for op := range opcodes {
+		t[op] = true
+	}
+	return t
+}()
+
+// Valid reports whether op is a defined architectural opcode. Fused
+// superinstructions are deliberately NOT valid: they exist only inside the
+// VM's decoded code and must never appear in a serialized program.
 func (op Opcode) Valid() bool {
-	_, ok := opcodes[op]
-	return ok
+	return validTable[op]
 }
 
-// String returns the assembly mnemonic for op.
+// String returns the assembly mnemonic for op. Fused superinstructions
+// render as "first.second" (e.g. "cmplt.bne") for debugging output.
 func (op Opcode) String() string {
 	if info, ok := opcodes[op]; ok {
 		return info.name
+	}
+	if op.IsFused() {
+		return fuseInfo[op].name
 	}
 	return fmt.Sprintf("op(%d)", uint8(op))
 }
 
 // ClassOf returns the resource class of op, or 0 for invalid opcodes.
+// Fused superinstructions have no single class (they retire two
+// instructions of possibly different classes) and report 0; per-class
+// accounting for fused code comes from per-block tallies computed over the
+// unfused instruction stream.
 func (op Opcode) ClassOf() Class {
-	return opcodes[op].class
+	return classTable[op]
 }
 
 // FromMnemonic returns the opcode for an assembly mnemonic.
@@ -317,6 +560,34 @@ func (op Opcode) Operands() (dst, a, b RegFile) {
 	default:
 		return RegNone, RegNone, RegNone
 	}
+}
+
+// operandLimits is a dense per-opcode table of exclusive upper bounds for
+// the dst/a/b operand indices (1 for unused operands, 0 for invalid
+// opcodes). It exists so per-instruction validation avoids re-deriving
+// register files through the Operands switch on every instruction of every
+// generated widget.
+var operandLimits = func() [256][3]uint8 {
+	var t [256][3]uint8
+	for op := range opcodes {
+		dst, a, b := op.Operands()
+		lim := func(f RegFile) uint8 {
+			if f == RegNone {
+				return 1
+			}
+			return uint8(f.RegCount())
+		}
+		t[op] = [3]uint8{lim(dst), lim(a), lim(b)}
+	}
+	return t
+}()
+
+// OperandLimits returns the exclusive upper bounds for op's dst, a and b
+// register indices (1 for unused operands — they must be encoded as 0 —
+// and 0 for invalid opcodes, rejecting everything).
+func (op Opcode) OperandLimits() (dst, a, b uint8) {
+	l := &operandLimits[op]
+	return l[0], l[1], l[2]
 }
 
 // RegCount returns the number of registers in file f.

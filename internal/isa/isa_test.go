@@ -150,3 +150,90 @@ func TestClassStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestFusedOpcodeMetadata(t *testing.T) {
+	seen := map[Opcode]bool{}
+	for op := Opcode(0); op < 255; op++ {
+		first, second, ok := op.FuseParts()
+		if !ok {
+			if op.IsFused() {
+				t.Errorf("%d: IsFused true but FuseParts failed", op)
+			}
+			continue
+		}
+		seen[op] = true
+		if !op.IsFused() {
+			t.Errorf("%s: FuseParts ok but IsFused false", op)
+		}
+		if op.Valid() {
+			t.Errorf("%s: fused opcode must not be Valid (wire format)", op)
+		}
+		if !first.Valid() || !second.Valid() {
+			t.Errorf("%s: halves %s/%s not architectural opcodes", op, first, second)
+		}
+		if first.IsControl() {
+			t.Errorf("%s: first half %s is a control instruction", op, first)
+		}
+		// Fuse must invert FuseParts exactly.
+		if got, ok := Fuse(first, second); !ok || got != op {
+			t.Errorf("Fuse(%s, %s) = %s, %v; want %s", first, second, got, ok, op)
+		}
+		// Mnemonic is "first.second" for debugging output.
+		if want := first.String() + "." + second.String(); op.String() != want {
+			t.Errorf("%s.String() = %q, want %q", op, op.String(), want)
+		}
+		// Fused opcodes have no single class; accounting uses block tallies.
+		if op.ClassOf() != 0 {
+			t.Errorf("%s: ClassOf = %v, want 0", op, op.ClassOf())
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no fused opcodes defined")
+	}
+	// Architectural opcodes never collide with the fused space.
+	for op := range opcodes {
+		if op >= FuseBase {
+			t.Errorf("architectural opcode %s (%d) overlaps the fused space (FuseBase %d)", op, op, FuseBase)
+		}
+	}
+}
+
+func TestFuseRejectsNonPairs(t *testing.T) {
+	if op, ok := Fuse(OpHalt, OpAdd); ok {
+		t.Errorf("Fuse(halt, add) = %s, want no fusion", op)
+	}
+	if op, ok := Fuse(OpAdd, OpHalt); ok {
+		t.Errorf("Fuse(add, halt) = %s, want no fusion", op)
+	}
+	if op, ok := Fuse(OpFuseAddAdd, OpAdd); ok {
+		t.Errorf("Fuse of an already-fused opcode = %s, want no fusion", op)
+	}
+}
+
+func TestOperandLimitsMatchOperands(t *testing.T) {
+	lim := func(f RegFile) uint8 {
+		if f == RegNone {
+			return 1
+		}
+		return uint8(f.RegCount())
+	}
+	for op := range opcodes {
+		dst, a, b := op.Operands()
+		ld, la, lb := op.OperandLimits()
+		if ld != lim(dst) || la != lim(a) || lb != lim(b) {
+			t.Errorf("%s: OperandLimits = (%d,%d,%d), want (%d,%d,%d)",
+				op, ld, la, lb, lim(dst), lim(a), lim(b))
+		}
+	}
+	if d, a, b := Opcode(250).OperandLimits(); d != 0 || a != 0 || b != 0 {
+		t.Errorf("invalid opcode OperandLimits = (%d,%d,%d), want zeros", d, a, b)
+	}
+}
+
+func TestClassTableMatchesMap(t *testing.T) {
+	for op, info := range opcodes {
+		if op.ClassOf() != info.class {
+			t.Errorf("%s: ClassOf = %v, want %v", op, op.ClassOf(), info.class)
+		}
+	}
+}

@@ -28,6 +28,7 @@ type Builder struct {
 	log    []taggedInstr // instructions in emission order
 	arena  []Instr       // block-contiguous storage carved at Build time
 	counts []int         // per-block instruction counts (Build scratch)
+	stats  []BlockStats  // per-block derived metadata (Build scratch)
 }
 
 // taggedInstr is one emitted instruction plus the block it belongs to
@@ -163,7 +164,8 @@ func (b *Builder) fail(err error) {
 }
 
 // materialize carves the emission log into per-block instruction slices
-// backed by the builder's contiguous arena.
+// backed by the builder's contiguous arena, and fills the program's
+// per-block Stats (length + class tally) in the same pass.
 func (b *Builder) materialize() {
 	nb := len(b.program.Blocks)
 	if cap(b.counts) < nb {
@@ -189,11 +191,22 @@ func (b *Builder) materialize() {
 		b.program.Blocks[bi].Instrs = arena[off : off : off+n]
 		off += n
 	}
+	if cap(b.stats) < nb {
+		b.stats = make([]BlockStats, nb)
+	}
+	stats := b.stats[:nb]
+	for i := range stats {
+		stats[i] = BlockStats{}
+	}
 	for i := range b.log {
 		t := &b.log[i]
 		blk := &b.program.Blocks[t.block]
 		blk.Instrs = append(blk.Instrs, t.ins)
+		s := &stats[t.block]
+		s.Len++
+		s.Tally[t.ins.Op.ClassOf()]++
 	}
+	b.program.Stats = stats
 }
 
 // Build validates and returns the constructed program. The returned

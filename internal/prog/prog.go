@@ -57,14 +57,53 @@ func (b *Block) Terminator() (Instr, bool) {
 	return Instr{}, false
 }
 
+// BlockStats is derived per-block metadata: the instruction count and the
+// per-class instruction tally of one basic block. The VM's block-batched
+// interpreter uses these to account a whole block in O(1) instead of
+// incrementing counters per retired instruction.
+//
+// Stats are redundant with Blocks and exist purely so consumers need not
+// recompute them per load: Builder fills them during materialization (on
+// the same flat arena pass that carves the blocks) and Validate verifies
+// them against the instruction stream when present, so a validated program
+// can never carry a lying tally.
+type BlockStats struct {
+	// Len is the number of instructions in the block.
+	Len uint32
+	// Tally counts the block's instructions per resource class, indexed by
+	// isa.Class.
+	Tally [isa.NumClasses]uint32
+}
+
 // Program is a complete widget: blocks plus the scratch memory declaration.
 // Execution starts at block 0, instruction 0. MemSize must be a power of
 // two in [MinMemSize, MaxMemSize]; MemSeed deterministically initializes
 // the scratch memory contents.
+//
+// Stats, when non-nil, holds per-block derived metadata parallel to Blocks
+// (see BlockStats). It is optional — programs assembled by hand or decoded
+// from the wire may leave it nil and consumers fall back to computing the
+// same data — and is not serialized.
 type Program struct {
 	Blocks  []Block
 	MemSize int
 	MemSeed uint64
+	Stats   []BlockStats
+}
+
+// AppendBlockStats computes per-block stats for p, appending into dst
+// (which is grown as needed and returned). It is the fallback for programs
+// whose Stats field is nil.
+func (p *Program) AppendBlockStats(dst []BlockStats) []BlockStats {
+	for bi := range p.Blocks {
+		var s BlockStats
+		for _, ins := range p.Blocks[bi].Instrs {
+			s.Len++
+			s.Tally[ins.Op.ClassOf()]++
+		}
+		dst = append(dst, s)
+	}
+	return dst
 }
 
 // NumInstrs returns the total static instruction count.
@@ -98,6 +137,7 @@ var (
 	ErrBadOpcode        = errors.New("prog: invalid opcode")
 	ErrBadRegister      = errors.New("prog: register index out of range")
 	ErrNoHalt           = errors.New("prog: no reachable halt instruction")
+	ErrBadStats         = errors.New("prog: Stats disagree with the instruction stream")
 )
 
 // Validate checks the structural well-formedness of p: opcode validity,
@@ -114,12 +154,17 @@ func (p *Program) Validate() error {
 	if !isPow2(p.MemSize) || p.MemSize < MinMemSize || p.MemSize > MaxMemSize {
 		return fmt.Errorf("%w: %d", ErrBadMemSize, p.MemSize)
 	}
+	if p.Stats != nil && len(p.Stats) != len(p.Blocks) {
+		return fmt.Errorf("%w: %d stats for %d blocks", ErrBadStats, len(p.Stats), len(p.Blocks))
+	}
+	var statsErr error
 	haveHalt := false
 	for bi := range p.Blocks {
 		b := &p.Blocks[bi]
 		if len(b.Instrs) > MaxBlockInstrs {
 			return fmt.Errorf("%w: block %d has %d instructions", ErrTooLarge, bi, len(b.Instrs))
 		}
+		var stats BlockStats
 		for ii, ins := range b.Instrs {
 			if !ins.Op.Valid() {
 				return fmt.Errorf("%w: block %d instr %d (op=%d)", ErrBadOpcode, bi, ii, ins.Op)
@@ -139,40 +184,40 @@ func (p *Program) Validate() error {
 			if ins.Op == isa.OpHalt {
 				haveHalt = true
 			}
+			stats.Len++
+			stats.Tally[ins.Op.ClassOf()]++
+		}
+		// Stats are trusted by the VM's block-batched accounting, so a
+		// validated program must carry exact ones (or none). The error is
+		// deferred so more specific structural errors win.
+		if p.Stats != nil && statsErr == nil && p.Stats[bi] != stats {
+			statsErr = fmt.Errorf("%w: block %d", ErrBadStats, bi)
 		}
 	}
-	// The last block must not fall through off the end of the program.
+	// The last block must not fall through off the end of the program —
+	// not even conditionally: a last block terminated by a conditional
+	// branch would fall off the end whenever the branch is not taken, so
+	// only the unconditional terminators (halt, jmp) are acceptable.
 	last := &p.Blocks[len(p.Blocks)-1]
-	if _, ok := last.Terminator(); !ok {
+	term, ok := last.Terminator()
+	if !ok {
 		return fmt.Errorf("%w: last block falls through", ErrNoHalt)
+	}
+	if term.Op != isa.OpHalt && term.Op != isa.OpJmp {
+		return fmt.Errorf("%w: last block may fall through (%s terminator)", ErrNoHalt, term.Op)
 	}
 	if !haveHalt {
 		return ErrNoHalt
 	}
-	return nil
+	return statsErr
 }
 
 func checkRegs(ins Instr) error {
-	dst, a, b := ins.Op.Operands()
-	if int(ins.Dst) >= regLimit(dst) {
-		return ErrBadRegister
-	}
-	if int(ins.A) >= regLimit(a) {
-		return ErrBadRegister
-	}
-	if int(ins.B) >= regLimit(b) {
+	dst, a, b := ins.Op.OperandLimits()
+	if ins.Dst >= dst || ins.A >= a || ins.B >= b {
 		return ErrBadRegister
 	}
 	return nil
-}
-
-// regLimit returns the exclusive upper bound for an operand index. Unused
-// operands must be encoded as 0, so their limit is 1.
-func regLimit(f isa.RegFile) int {
-	if f == isa.RegNone {
-		return 1
-	}
-	return f.RegCount()
 }
 
 func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }

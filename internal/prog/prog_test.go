@@ -282,3 +282,115 @@ func TestDecodeValidates(t *testing.T) {
 		t.Fatal("Decode accepted a program with a dangling branch target")
 	}
 }
+
+func TestBuilderFillsBlockStats(t *testing.T) {
+	b := NewBuilder(MinMemSize, 7)
+	entry := b.NewBlock()
+	body := b.NewBlock()
+	b.SetBlock(entry)
+	b.MovI(1, 5)
+	b.Op3(isa.OpMul, 2, 1, 1)
+	b.Load(3, 1, 8)
+	b.Jmp(body)
+	b.SetBlock(body)
+	b.Op3(isa.OpFAdd, 1, 0, 0)
+	b.Store(1, 2, 0)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Stats) != len(p.Blocks) {
+		t.Fatalf("Stats len %d, blocks %d", len(p.Stats), len(p.Blocks))
+	}
+	// Stats must equal an independent recomputation.
+	recomputed := p.AppendBlockStats(nil)
+	for i := range recomputed {
+		if p.Stats[i] != recomputed[i] {
+			t.Errorf("block %d: builder stats %+v != recomputed %+v", i, p.Stats[i], recomputed[i])
+		}
+	}
+	if p.Stats[0].Len != 4 || p.Stats[0].Tally[isa.ClassIntALU] != 1 ||
+		p.Stats[0].Tally[isa.ClassIntMul] != 1 || p.Stats[0].Tally[isa.ClassLoad] != 1 ||
+		p.Stats[0].Tally[isa.ClassBranch] != 1 {
+		t.Errorf("entry stats wrong: %+v", p.Stats[0])
+	}
+}
+
+func TestValidateRejectsLyingStats(t *testing.T) {
+	b := NewBuilder(MinMemSize, 7)
+	b.NewBlock()
+	b.MovI(1, 5)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	p.Stats[0].Tally[isa.ClassIntALU]++
+	if err := p.Validate(); !errors.Is(err, ErrBadStats) {
+		t.Errorf("Validate with corrupt tally = %v, want ErrBadStats", err)
+	}
+	p.Stats[0].Tally[isa.ClassIntALU]--
+	p.Stats = p.Stats[:0]
+	p.Stats = append(p.Stats, BlockStats{})
+	p.Stats = p.Stats[:1]
+	if len(p.Blocks) == 1 {
+		p.Stats[0].Len = 99
+		if err := p.Validate(); !errors.Is(err, ErrBadStats) {
+			t.Errorf("Validate with wrong Len = %v, want ErrBadStats", err)
+		}
+	}
+	// nil Stats are always acceptable (derived data is optional).
+	p.Stats = nil
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate with nil Stats = %v, want nil", err)
+	}
+}
+
+func TestBuilderResetInvalidatesStats(t *testing.T) {
+	b := NewBuilder(MinMemSize, 1)
+	b.NewBlock()
+	b.MovI(1, 2)
+	b.Halt()
+	var out Program
+	if err := b.BuildInto(&out); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]BlockStats(nil), out.Stats...)
+
+	b.Reset(MinMemSize, 2)
+	b.NewBlock()
+	b.Op3(isa.OpFAdd, 1, 0, 0)
+	b.Op3(isa.OpFMul, 2, 1, 1)
+	b.Halt()
+	if err := b.BuildInto(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats[0].Len != 3 || out.Stats[0].Tally[isa.ClassFPALU] != 2 {
+		t.Errorf("rebuilt stats wrong: %+v (previous %+v)", out.Stats[0], first[0])
+	}
+}
+
+func TestValidateRejectsCondBranchLastBlock(t *testing.T) {
+	// {b0: jmp->2, b1: halt, b2: bne->1}: statically contains a halt, but
+	// the last block falls off the end whenever its branch is not taken.
+	p := &Program{
+		MemSize: MinMemSize,
+		Blocks: []Block{
+			{Instrs: []Instr{{Op: isa.OpJmp, Target: 2}}},
+			{Instrs: []Instr{{Op: isa.OpHalt}}},
+			{Instrs: []Instr{{Op: isa.OpBne, A: 0, B: 0, Target: 1}}},
+		},
+	}
+	if err := p.Validate(); !errors.Is(err, ErrNoHalt) {
+		t.Errorf("Validate(cond-branch last block) = %v, want ErrNoHalt", err)
+	}
+	// A jmp-terminated last block cannot fall off the end and stays valid.
+	p.Blocks[2].Instrs[0] = Instr{Op: isa.OpJmp, Target: 1}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate(jmp last block) = %v, want nil", err)
+	}
+}

@@ -30,13 +30,89 @@ func NewSplitMix64(seed uint64) *SplitMix64 {
 // allocating.
 func (s *SplitMix64) Seed(seed uint64) { s.state = seed }
 
-// Next returns the next 64 bits of the stream.
-func (s *SplitMix64) Next() uint64 {
-	s.state += 0x9e3779b97f4a7c15
-	z := s.state
+// mix64 is SplitMix64's output finalizer. It is the single definition the
+// sequential generator (Next), the random-access form (SplitMix64At) and
+// the bulk filler (SplitMix64Fill) all share: the VM repairs dirtied
+// memory words via SplitMix64At against an image written by
+// SplitMix64Fill, so these must remain bit-identical forever.
+func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+// Next returns the next 64 bits of the stream.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	return mix64(s.state)
+}
+
+// SplitMix64At returns the i-th output (0-based) of the SplitMix64 stream
+// seeded with seed — identical to calling Next i+1 times on a fresh
+// generator, in O(1). SplitMix64's state walk is a plain additive counter,
+// so any position of the stream can be computed directly; the VM uses this
+// to repair only the scratch-memory words a run dirtied instead of
+// regenerating the whole image.
+func SplitMix64At(seed, i uint64) uint64 {
+	return mix64(seed + (i+1)*0x9e3779b97f4a7c15)
+}
+
+// SplitMix64Fill fills mem with the little-endian SplitMix64 stream seeded
+// with seed — byte-identical to writing successive Next() outputs with
+// encoding/binary. Because each output depends only on its index, the loop
+// is unrolled eight-way over independent mixes, letting the CPU pipeline
+// them instead of serializing on a generator state; bulk scratch-memory
+// initialization is one of the VM's hottest non-interpreter loops. Any
+// tail bytes beyond the last full 8-byte word are filled from the next
+// output's low bytes, matching a sequential little-endian writer.
+func SplitMix64Fill(mem []byte, seed uint64) {
+	const phi = 0x9e3779b97f4a7c15
+	s := seed + phi
+	off := 0
+	for ; off+64 <= len(mem); off += 64 {
+		c := mem[off : off+64 : off+64]
+		s1 := s + phi
+		s2 := s1 + phi
+		s3 := s2 + phi
+		s4 := s3 + phi
+		s5 := s4 + phi
+		s6 := s5 + phi
+		s7 := s6 + phi
+		putLE64(c[0:8], mix64(s))
+		putLE64(c[8:16], mix64(s1))
+		putLE64(c[16:24], mix64(s2))
+		putLE64(c[24:32], mix64(s3))
+		putLE64(c[32:40], mix64(s4))
+		putLE64(c[40:48], mix64(s5))
+		putLE64(c[48:56], mix64(s6))
+		putLE64(c[56:64], mix64(s7))
+		s = s7 + phi
+	}
+	for ; off+8 <= len(mem); off += 8 {
+		putLE64(mem[off:off+8], mix64(s))
+		s += phi
+	}
+	if off < len(mem) {
+		z := mix64(s)
+		for i := off; i < len(mem); i++ {
+			mem[i] = byte(z)
+			z >>= 8
+		}
+	}
+}
+
+// putLE64 is binary.LittleEndian.PutUint64 without the import (rng stays
+// dependency-free); the compiler recognizes the pattern as a single store.
+func putLE64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
 }
 
 // Xoshiro256 implements the xoshiro256** 1.0 generator.

@@ -73,9 +73,11 @@ func BenchmarkRunObserved(b *testing.B) {
 	b.ReportMetric(float64(res.Retired)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 }
 
-// TestRunIntoZeroAlloc asserts the reusable execution path allocates
-// nothing once the Result's output buffer has reached its high-water
-// capacity.
+// TestRunIntoZeroAlloc asserts the reusable execution path — RunInto with
+// a recycled Result, the documented zero-alloc path (vm.Machine.Run's
+// convenience wrapper allocates the Result; execution itself never does) —
+// allocates nothing once the Result's output buffer has reached its
+// high-water capacity.
 func TestRunIntoZeroAlloc(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation measurement skipped in -short mode")
@@ -91,6 +93,33 @@ func TestRunIntoZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("RunInto allocated %.1f objects/run in steady state, want 0", allocs)
+	}
+}
+
+// TestFusedLoopZeroAlloc is the allocation guard for the fused
+// block-batched loop specifically: a small snapshot interval forces the
+// per-instruction slow path (and its mid-block snapshots) to run on
+// nearly every block, and a tight budget exercises the truncation path —
+// none of which may allocate in the steady state.
+func TestFusedLoopZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement skipped in -short mode")
+	}
+	m, err := vm.New(benchWidget(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := vm.Params{SnapshotInterval: 3}
+	trunc := vm.Params{SnapshotInterval: 5, MaxInstructions: 10_000}
+	var res vm.Result
+	m.RunInto(params, nil, &res) // warm the buffers to their high-water marks
+	m.RunInto(trunc, nil, &res)
+	allocs := testing.AllocsPerRun(3, func() {
+		m.RunInto(params, nil, &res)
+		m.RunInto(trunc, nil, &res)
+	})
+	if allocs != 0 {
+		t.Errorf("fused loop allocated %.1f objects/run in steady state, want 0", allocs)
 	}
 }
 

@@ -1,0 +1,291 @@
+package vm
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"hashcore/internal/isa"
+	"hashcore/internal/prog"
+	"hashcore/internal/rng"
+)
+
+// countObserver is the minimal observer; attaching it forces the
+// per-instruction unfused reference loop.
+type countObserver struct{ n uint64 }
+
+func (c *countObserver) OnRetire(ev *Event) { c.n++ }
+
+// runBoth executes p through the fused block-batched loop and the unfused
+// observed loop and asserts identical results, returning the fused one.
+func runBoth(t *testing.T, p *prog.Program, params Params) *Result {
+	t.Helper()
+	m, err := New(p)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	fused := m.Run(params, nil)
+	unfused := m.Run(params, &countObserver{})
+	if !bytes.Equal(fused.Output, unfused.Output) {
+		t.Fatalf("fused and unfused outputs differ (%d vs %d bytes)", len(fused.Output), len(unfused.Output))
+	}
+	if fused.Retired != unfused.Retired || fused.Truncated != unfused.Truncated ||
+		fused.Snapshots != unfused.Snapshots ||
+		fused.CondBranches != unfused.CondBranches ||
+		fused.TakenBranches != unfused.TakenBranches ||
+		fused.ClassCounts != unfused.ClassCounts {
+		t.Fatalf("fused and unfused result metadata diverged:\n fused   %+v\n unfused %+v", fused, unfused)
+	}
+	return fused
+}
+
+// fusedOps returns the multiset of fused opcodes in m's fused code.
+func fusedOps(m *Machine) map[isa.Opcode]int {
+	got := map[isa.Opcode]int{}
+	for i := range m.fcode {
+		if m.fcode[i].op.IsFused() {
+			got[m.fcode[i].op]++
+		}
+	}
+	return got
+}
+
+// TestEveryFusedOpcodeSemantics builds, for every fused opcode the ISA
+// defines, a program whose decoded form contains that superinstruction,
+// and checks the fused loop retires exactly the state the unfused
+// per-instruction loop does. This is the per-opcode ground truth the
+// generated-program fuzz target builds on.
+func TestEveryFusedOpcodeSemantics(t *testing.T) {
+	// Operand values chosen so every unit is exercised with asymmetric
+	// inputs (shift counts, FP values, addresses all distinct).
+	for fop := isa.Opcode(0); fop < 255; fop++ {
+		first, second, ok := fop.FuseParts()
+		if !ok {
+			continue
+		}
+		t.Run(fop.String(), func(t *testing.T) {
+			b := prog.NewBuilder(prog.MinMemSize, 99)
+			entry := b.NewBlock()
+			body := b.NewBlock()
+			tgt := b.NewBlock()
+			exit := b.NewBlock()
+
+			b.SetBlock(entry)
+			// Integer pool: varied, nonzero values.
+			for r := uint8(0); r < 6; r++ {
+				b.MovI(r, int64(r)*0x9e37+3)
+			}
+			// FP regs from integers, vector regs broadcast.
+			for r := uint8(0); r < 4; r++ {
+				b.Op2(isa.OpFCvt, r, r)
+				b.Op2(isa.OpVBcast, r, r)
+			}
+			b.Jmp(body)
+
+			b.SetBlock(body)
+			b.Emit(instantiate(t, first, 2, 3, 4, 40, prog.Label(tgt)))
+			b.Emit(instantiate(t, second, 1, 2, 3, 48, prog.Label(tgt)))
+			if !second.IsControl() {
+				b.Jmp(tgt)
+			}
+
+			b.SetBlock(tgt)
+			b.Op3(isa.OpXor, 1, 1, 2)
+			b.Jmp(exit)
+			b.SetBlock(exit)
+			b.Halt()
+
+			p, err := b.Build()
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			m, err := New(p)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			if got := fusedOps(m); got[fop] == 0 {
+				t.Fatalf("decoded code does not contain %s (has %v)", fop, got)
+			}
+			runBoth(t, p, Params{})
+		})
+	}
+}
+
+// instantiate builds one instruction of opcode op with in-range operands.
+func instantiate(t *testing.T, op isa.Opcode, dst, a, b uint8, imm int64, tgt prog.Label) prog.Instr {
+	t.Helper()
+	ins := prog.Instr{Op: op}
+	dstF, aF, bF := op.Operands()
+	clamp := func(r uint8, f isa.RegFile) uint8 {
+		if f == isa.RegNone {
+			return 0
+		}
+		return r % uint8(f.RegCount())
+	}
+	ins.Dst = clamp(dst, dstF)
+	ins.A = clamp(a, aF)
+	ins.B = clamp(b, bF)
+	if op.HasImm() {
+		ins.Imm = imm
+	}
+	if op.IsControl() && op != isa.OpHalt {
+		ins.Target = uint32(tgt)
+	}
+	return ins
+}
+
+// TestFuseRespectsBlockBoundaries asserts a fusible-looking pair split
+// across two blocks is NOT fused (a branch target may land between them).
+func TestFuseRespectsBlockBoundaries(t *testing.T) {
+	b := prog.NewBuilder(prog.MinMemSize, 1)
+	first := b.NewBlock()
+	second := b.NewBlock()
+	b.SetBlock(first)
+	b.Op3(isa.OpAdd, 1, 2, 3) // falls through
+	b.SetBlock(second)
+	b.Op3(isa.OpAdd, 2, 3, 4)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fusedOps(m); got[isa.OpFuseAddAdd] != 0 {
+		t.Fatalf("add+add fused across a block boundary: %v", got)
+	}
+}
+
+// TestFuseAddILoadDispBounds asserts addi+load / addi+store only fuse when
+// the memory displacement fits the packed uint32 encoding.
+func TestFuseAddILoadDispBounds(t *testing.T) {
+	build := func(disp int64) *Machine {
+		b := prog.NewBuilder(prog.MinMemSize, 1)
+		b.NewBlock()
+		b.AddI(1, 2, 7)
+		b.Load(3, 4, disp)
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if got := fusedOps(build(1 << 10)); got[isa.OpFuseAddILoad] != 1 {
+		t.Errorf("in-range disp did not fuse: %v", got)
+	}
+	if got := fusedOps(build(-8)); got[isa.OpFuseAddILoad] != 0 {
+		t.Errorf("negative disp fused: %v", got)
+	}
+	if got := fusedOps(build(math.MaxUint32 + 1)); got[isa.OpFuseAddILoad] != 0 {
+		t.Errorf("oversized disp fused: %v", got)
+	}
+}
+
+// TestReloadSmallerMemoryAfterStores is a regression test for the
+// dirty-word reset: a run that stores near the top of a large scratch
+// memory, followed by a reload to a smaller memory with the same seed,
+// must fall back to full regeneration (the recorded dirty addresses lie
+// beyond the new image) — not panic or corrupt memory.
+func TestReloadSmallerMemoryAfterStores(t *testing.T) {
+	const seed = 7
+	build := func(memSize int) *prog.Program {
+		b := prog.NewBuilder(memSize, seed)
+		b.NewBlock()
+		b.MovI(1, int64(memSize)-8) // store to the last word
+		b.MovI(2, 0x1234)
+		b.Store(1, 2, 0)
+		b.Load(3, 0, 0) // read the first pristine word
+		b.Halt()
+		return b.MustBuild()
+	}
+	big := build(2 * prog.MinMemSize)
+	small := build(prog.MinMemSize)
+
+	m, err := New(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(Params{}, nil) // dirties a word beyond the small memory's bounds
+	m.LoadTrusted(small)
+	m.Run(Params{}, nil)
+	if want := rng.NewSplitMix64(seed).Next(); m.intRegs[3] != want {
+		t.Errorf("after shrink reload, mem[0] = %#x, want pristine %#x", m.intRegs[3], want)
+	}
+	// And back up to the large program: the extension must be pristine too.
+	m.LoadTrusted(big)
+	m.Run(Params{}, nil)
+	if want := rng.NewSplitMix64(seed).Next(); m.intRegs[3] != want {
+		t.Errorf("after grow reload, mem[0] = %#x, want pristine %#x", m.intRegs[3], want)
+	}
+}
+
+// TestRepeatedRunsRepairDirtyWords asserts the incremental reset restores
+// bit-identical pristine memory across runs of the same program (the
+// miner's re-hash pattern): a run whose first action reads a word the
+// previous run overwrote must see the pristine value.
+func TestRepeatedRunsRepairDirtyWords(t *testing.T) {
+	const seed = 99
+	b := prog.NewBuilder(prog.MinMemSize, seed)
+	b.NewBlock()
+	b.Load(3, 0, 64)  // read word 8 before overwriting it
+	b.MovI(1, 64)     //
+	b.MovI(2, -1)     //
+	b.Store(1, 2, 0)  // clobber word 8
+	b.Store(1, 2, 8)  // and word 9
+	b.Halt()
+	p := b.MustBuild()
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rng.SplitMix64At(seed, 8)
+	for run := 0; run < 3; run++ {
+		m.Run(Params{}, nil)
+		if m.intRegs[3] != want {
+			t.Fatalf("run %d: load of previously-clobbered word = %#x, want pristine %#x",
+				run, m.intRegs[3], want)
+		}
+	}
+}
+
+// TestFusedBlockArchLengthPreserved asserts fusion never changes a block's
+// architectural instruction count (fused slots retire two).
+func TestFusedBlockArchLengthPreserved(t *testing.T) {
+	b := prog.NewBuilder(prog.MinMemSize, 5)
+	b.NewBlock()
+	b.Op3(isa.OpAdd, 1, 2, 3)
+	b.Op3(isa.OpAdd, 2, 3, 4)
+	b.Op3(isa.OpXor, 3, 4, 0)
+	b.MovI(4, 77)
+	b.Op3(isa.OpSub, 1, 1, 2)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi := range m.blocks {
+		meta := &m.blocks[bi]
+		arch := uint32(0)
+		for i := meta.fstart; i < meta.fend; i++ {
+			if m.fcode[i].op.IsFused() {
+				arch += 2
+			} else {
+				arch++
+			}
+		}
+		if arch != meta.count {
+			t.Errorf("block %d: fused stream retires %d instructions, meta says %d", bi, arch, meta.count)
+		}
+	}
+}

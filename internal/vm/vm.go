@@ -22,8 +22,11 @@
 // decoded-code and scratch-memory storage, and RunInto appends output into
 // a caller-owned Result, so a hot loop (core.Session, the miner) executes
 // arbitrarily many widgets without allocating. The interpreter itself is
-// specialized: when no Observer is attached Run takes a loop with no event
-// construction and no per-instruction observer branch.
+// specialized: when no Observer is attached, execution runs the
+// superinstruction-fused, block-batched engine (per-block accounting with
+// an exact per-instruction slow path at budget/snapshot boundaries — see
+// runUnobserved and fuse.go); with an Observer it runs per-instruction
+// over the unfused stream so every retirement is visible as an Event.
 package vm
 
 import (
@@ -130,36 +133,104 @@ func (r *Result) reset() {
 	r.TakenBranches = 0
 }
 
-// flatInstr is a pre-decoded instruction with block targets resolved to
-// flat code indices. The layout is ordered widest-field-first so the
-// struct packs into 24 bytes (no padding holes) and the decoded program
-// stays dense in the data cache; the original block index of control
-// targets is deliberately not retained (it is never needed at execution
-// time).
+// flatInstr is a pre-decoded instruction. The layout is ordered
+// widest-field-first so the struct packs into 24 bytes (no padding holes)
+// and the decoded program stays dense in the data cache.
+//
+// The same struct encodes both instruction streams the Machine keeps:
+//
+//   - Unfused code (m.code): one entry per architectural instruction.
+//     Control instructions carry their target twice — target is the flat
+//     code index (used by the per-instruction observed loop), aux is the
+//     block index (used by the slow-path block executor).
+//   - Fused code (m.fcode): the per-block superinstruction stream. Control
+//     instructions carry the BLOCK index in target (the block-batched loop
+//     transfers between blocks, never raw pcs), and fused opcodes pack
+//     their second half's operands into aux/target/imm as documented in
+//     fuse.go.
 type flatInstr struct {
 	imm       int64
-	target    uint32 // flat code index for control instructions
+	target    uint32
+	aux       uint32
 	op        isa.Opcode
 	class     isa.Class
 	dst, a, b uint8
 }
 
+// blockMeta is the block-batched interpreter's per-block record: where the
+// block's fused and unfused instructions live, how many architectural
+// instructions the whole block retires, and the run-local fast-path
+// execution counter (kept inside the meta so the hot loop's accounting
+// touches no second array; uint64 because a hot loop block can execute
+// more than 2^32 times under a large MaxInstructions budget). 24 bytes.
+type blockMeta struct {
+	execs  uint64 // fast-path executions this run (cleared per run)
+	fstart uint32 // first fused instruction (m.fcode index)
+	fend   uint32 // one past the last fused instruction
+	start  uint32 // first unfused instruction (m.code index, slow path)
+	count  uint32 // architectural instructions retired by the full block
+}
+
 // Machine is a reusable executor. Construct with New (or the zero value
 // plus Load), then call Run or RunInto. A Machine may execute many
 // programs: Load replaces the program while keeping the decoded-code
-// slice and scratch memory, so steady-state reloads allocate nothing.
-// A Machine is not safe for concurrent use.
+// slices, block metadata and scratch memory, so steady-state reloads
+// allocate nothing. A Machine is not safe for concurrent use.
 type Machine struct {
-	code    []flatInstr
+	code    []flatInstr // unfused: observed loop + slow path
+	fcode   []flatInstr // fused: block-batched unobserved loop
 	memSize int
 	memSeed uint64
 	mem     []byte
 
-	blockStart []uint32 // scratch for Load, reused across programs
+	blocks      []blockMeta
+	blockTally  [][isa.NumClasses]uint32 // per-block class tallies (unfused)
+	blockStart  []uint32                 // scratch for Load, reused across programs
+	statScratch []prog.BlockStats        // fallback stats for programs without p.Stats
+
+	// Dirty-word memory tracking: when the machine re-runs the same
+	// memory image (ablation experiments, benchmarks, repeated Run calls
+	// on one program), a run records every stored word address (every
+	// dynamic store, duplicates included — no dedup on the hot path) so
+	// the next reset can repair just those words from the SplitMix64
+	// image (O(stores)) instead of regenerating the whole scratch memory
+	// (O(memSize)). Recording only arms on the second consecutive run of
+	// the same (seed, size) image — the production session loads a fresh
+	// program with a fresh MemSeed per hash, so it never arms, never
+	// allocates the dirty list and pays one predicted branch per store.
+	// memGoodSeed/memGoodSize describe the pristine image the repair
+	// restores; dirtyOverflow forces a full regeneration when a run
+	// performs more dynamic stores than the bounded list records.
+	dirty         []uint32
+	trackDirty    bool
+	dirtyOverflow bool
+	memGood       bool
+	memGoodSeed   uint64
+	memGoodSize   int
 
 	intRegs [isa.NumIntRegs]uint64
 	fpRegs  [isa.NumFPRegs]uint64 // IEEE-754 bits
 	vecRegs [isa.NumVecRegs][isa.VecLanes]uint64
+}
+
+// maxDirtyWords bounds the dirty-word list (32768 uint32 addresses, 128
+// KiB, allocated only once tracking arms — see reset). A run
+// that stores more than this many times falls back to full scratch-memory
+// regeneration on the next reset.
+const maxDirtyWords = 1 << 15
+
+// markDirty records that the 8-byte word at addr no longer matches the
+// pristine memory image. addr is always < memSize <= prog.MaxMemSize, so it
+// fits uint32. A no-op unless reset armed tracking for this run.
+func (m *Machine) markDirty(addr uint64) {
+	if !m.trackDirty {
+		return
+	}
+	if len(m.dirty) < cap(m.dirty) {
+		m.dirty = append(m.dirty, uint32(addr))
+	} else {
+		m.dirtyOverflow = true
+	}
 }
 
 // New pre-decodes and validates p for execution.
@@ -185,25 +256,56 @@ func (m *Machine) Load(p *prog.Program) error {
 // already known to be structurally valid (e.g. just returned by
 // prog.Builder.Build, which validates). Loading an unvalidated program
 // may make Run panic with an out-of-range access.
+//
+// Loading decodes the program into two parallel streams: the unfused
+// per-instruction code (observed loop, slow path) and the per-block fused
+// superinstruction code (unobserved block-batched loop), plus per-block
+// metadata — architectural length and class tallies — that lets the fast
+// loop account a whole block at once. Tallies come from p.Stats when the
+// program carries them (prog.Builder fills and prog.Validate verifies
+// them) and are recomputed here otherwise.
 func (m *Machine) LoadTrusted(p *prog.Program) {
 	m.memSize = p.MemSize
 	m.memSeed = p.MemSeed
 
-	if cap(m.blockStart) < len(p.Blocks) {
-		m.blockStart = make([]uint32, len(p.Blocks))
+	nb := len(p.Blocks)
+	if cap(m.blockStart) < nb {
+		m.blockStart = make([]uint32, nb)
 	}
-	blockStart := m.blockStart[:len(p.Blocks)]
+	blockStart := m.blockStart[:nb]
 	total := 0
 	for i := range p.Blocks {
 		blockStart[i] = uint32(total)
 		total += len(p.Blocks[i].Instrs)
 	}
+
 	if cap(m.code) < total {
 		m.code = make([]flatInstr, 0, total)
 	}
 	m.code = m.code[:0]
+	if cap(m.blocks) < nb {
+		m.blocks = make([]blockMeta, nb)
+	}
+	m.blocks = m.blocks[:nb]
+	if cap(m.blockTally) < nb {
+		m.blockTally = make([][isa.NumClasses]uint32, nb)
+	}
+	m.blockTally = m.blockTally[:nb]
+
+	stats := p.Stats
+	if len(stats) != nb {
+		// Programs without builder-provided stats (hand-assembled, decoded
+		// from the wire) fall back to the canonical recomputation.
+		m.statScratch = p.AppendBlockStats(m.statScratch[:0])
+		stats = m.statScratch
+	}
 	for bi := range p.Blocks {
-		for _, ins := range p.Blocks[bi].Instrs {
+		instrs := p.Blocks[bi].Instrs
+		meta := &m.blocks[bi]
+		meta.start = blockStart[bi]
+		meta.count = uint32(len(instrs))
+		m.blockTally[bi] = stats[bi].Tally
+		for _, ins := range instrs {
 			fi := flatInstr{
 				op:    ins.Op,
 				class: ins.Op.ClassOf(),
@@ -214,15 +316,37 @@ func (m *Machine) LoadTrusted(p *prog.Program) {
 			}
 			if ins.Op.IsControl() && ins.Op != isa.OpHalt {
 				fi.target = blockStart[ins.Target]
+				fi.aux = ins.Target
 			}
 			m.code = append(m.code, fi)
 		}
 	}
+
+	// Peephole pass: rewrite each block into its fused superinstruction
+	// form (see fuse.go). Blocks keep their identity — only the intra-block
+	// stream is compressed — so control flow and accounting metadata are
+	// unaffected.
+	if cap(m.fcode) < total {
+		m.fcode = make([]flatInstr, 0, total)
+	}
+	m.fcode = m.fcode[:0]
+	for bi := range m.blocks {
+		meta := &m.blocks[bi]
+		meta.fstart = uint32(len(m.fcode))
+		m.fcode = appendFusedBlock(m.fcode, m.code[meta.start:meta.start+meta.count])
+		meta.fend = uint32(len(m.fcode))
+	}
 }
 
 // reset restores the architectural state for a fresh run: registers are
-// zeroed (FP registers hold +0.0) and memory is regenerated from the
-// program's memory seed. The memory buffer is reused across runs.
+// zeroed (FP registers hold +0.0) and memory is restored to the pristine
+// image derived from the program's memory seed. The memory buffer is
+// reused across runs, and so — usually — is its content: only the words
+// the previous run actually stored to are repaired (SplitMix64 is randomly
+// addressable, see rng.SplitMix64At), which turns the per-run O(memSize)
+// regeneration into O(stores). A seed/size change, an unbounded store
+// burst (dirty-list overflow) or the first run fall back to regenerating
+// the full image.
 func (m *Machine) reset() {
 	m.intRegs = [isa.NumIntRegs]uint64{}
 	m.fpRegs = [isa.NumFPRegs]uint64{}
@@ -231,15 +355,43 @@ func (m *Machine) reset() {
 		m.mem = make([]byte, m.memSize)
 	}
 	m.mem = m.mem[:m.memSize]
-	sm := rng.NewSplitMix64(m.memSeed)
-	for off := 0; off < len(m.mem); off += 8 {
-		binary.LittleEndian.PutUint64(m.mem[off:], sm.Next())
+
+	sameImage := m.memGood && m.memGoodSeed == m.memSeed && m.memGoodSize == m.memSize
+	if sameImage && m.trackDirty && !m.dirtyOverflow {
+		// Incremental repair: every word outside m.dirty still holds its
+		// pristine value from the previous restore. The size must match
+		// exactly — after a reload to a smaller memory, recorded dirty
+		// addresses could lie beyond the new image, and a grow-back would
+		// find the extension stale.
+		for _, addr := range m.dirty {
+			binary.LittleEndian.PutUint64(m.mem[addr:], rng.SplitMix64At(m.memSeed, uint64(addr)/8))
+		}
+		m.dirty = m.dirty[:0]
+		return
 	}
+
+	rng.SplitMix64Fill(m.mem, m.memSeed)
+	m.dirty = m.dirty[:0]
+	m.dirtyOverflow = false
+	// Arm dirty recording only from the second consecutive run of the
+	// same image: machines whose programs change every run (the
+	// production session) never record and never allocate the list.
+	m.trackDirty = sameImage
+	if m.trackDirty && m.dirty == nil {
+		m.dirty = make([]uint32, 0, maxDirtyWords)
+	}
+	m.memGood = true
+	m.memGoodSeed = m.memSeed
+	m.memGoodSize = m.memSize
 }
 
 // Run executes the program to completion (halt or budget) and returns a
-// freshly allocated result. Callers on a hot path should use RunInto with
-// a reused Result instead.
+// freshly allocated result. It is a convenience wrapper over RunInto with
+// a new Result: the allocation is the Result (and its output buffer), not
+// the execution. Callers on a hot path must instead recycle a Result
+// through RunInto — that is the zero-allocation path (once the Result's
+// output buffer reaches its high-water capacity, execution performs no
+// allocation; TestRunIntoZeroAlloc and TestFusedLoopZeroAlloc pin this).
 func (m *Machine) Run(params Params, obs Observer) *Result {
 	res := &Result{}
 	m.RunInto(params, obs, res)
@@ -251,10 +403,13 @@ func (m *Machine) Run(params Params, obs Observer) *Result {
 // reused, so a Result that is recycled across calls reaches a steady
 // state where execution performs no allocation.
 //
-// The interpreter is specialized on the observer: with obs == nil a
-// tighter loop runs that skips event construction and per-instruction
-// observer dispatch entirely. Both loops retire identical architectural
-// state — digests do not depend on whether an observer was attached.
+// The interpreter is specialized on the observer: with obs == nil the
+// block-batched superinstruction loop runs (per-block accounting, fused
+// dispatch — see runUnobserved); with an observer attached, a
+// per-instruction unfused loop runs so every architectural retirement is
+// visible as an Event. Both loops retire identical architectural state —
+// digests do not depend on whether an observer was attached — which the
+// fused-vs-unfused property and fuzz tests verify.
 func (m *Machine) RunInto(params Params, obs Observer, res *Result) {
 	params = params.withDefaults()
 	m.reset()
@@ -273,33 +428,561 @@ func (m *Machine) RunInto(params Params, obs Observer, res *Result) {
 	}
 }
 
-// runUnobserved is the production interpreter loop: no Event construction,
-// no observer branch, no effective-address bookkeeping beyond the access
-// itself, and hot counters held in locals rather than behind the Result
-// pointer. It must retire exactly the architectural state runObserved
-// does.
+// execState carries the live accounting shared between the block-batched
+// fast loop and the per-instruction slow path: the retired counter and
+// snapshot countdown (which gate execution), branch statistics, and the
+// per-class counts accumulated by slow-path instructions. Fast-path class
+// counts are NOT accumulated here — they are reconstructed from per-block
+// execution counters at the end of the run (see runUnobserved).
+type execState struct {
+	retired       uint64
+	untilSnap     uint64
+	snapInterval  uint64
+	maxInstr      uint64
+	condBranches  uint64
+	takenBranches uint64
+	classCounts   [isa.NumClasses]uint64
+}
+
+// slowStatus reports how the slow-path block executor left the run.
+type slowStatus uint8
+
+const (
+	slowNext  slowStatus = iota // continue the block loop at the returned block
+	slowHalt                    // a halt instruction retired
+	slowTrunc                   // the instruction budget truncated execution
+)
+
+// runUnobserved is the production interpreter loop, organized around the
+// program's basic-block structure: control flow can only leave a block at
+// its terminator, so the budget check, snapshot countdown and retirement
+// accounting are hoisted to once per block. A block whose execution would
+// cross the instruction budget or a snapshot boundary takes runBlockSlow —
+// an exact per-instruction re-entry over the unfused code — so retired
+// counts, truncation points and snapshot contents are bit-identical to
+// per-instruction execution. Within a block the fused superinstruction
+// stream (fuse.go) is dispatched, halving dispatch count on hot pairs.
+//
+// It must retire exactly the architectural state runObserved does.
 func (m *Machine) runUnobserved(params Params, res *Result) {
+	fcode := m.fcode
+	blocks := m.blocks
+	mem := m.mem
+	intRegs := &m.intRegs
+	fpRegs := &m.fpRegs
+	mask := uint64(m.memSize - 1)
+
+	for i := range blocks {
+		blocks[i].execs = 0
+	}
+
+	st := execState{
+		untilSnap:    params.SnapshotInterval,
+		snapInterval: params.SnapshotInterval,
+		maxInstr:     params.MaxInstructions,
+	}
+	truncated := false
+	bi := uint32(0)
+
+blockLoop:
+	for {
+		if st.retired >= st.maxInstr {
+			truncated = true
+			break
+		}
+		meta := &blocks[bi]
+		count := uint64(meta.count)
+		if count > st.maxInstr-st.retired || count >= st.untilSnap {
+			// The block straddles the budget or a snapshot boundary:
+			// execute it per-instruction with exact checks.
+			next, status := m.runBlockSlow(bi, &st, res)
+			switch status {
+			case slowHalt:
+				break blockLoop
+			case slowTrunc:
+				truncated = true
+				break blockLoop
+			}
+			bi = next
+			continue
+		}
+
+		// Fast path: the whole block retires inside the budget and snapshot
+		// window, so account it wholesale. Class counts are deferred: only
+		// the per-block execution counter is bumped here, and the per-class
+		// totals are reconstructed from the static per-block tallies after
+		// the run.
+		meta.execs++
+		st.retired += count
+		st.untilSnap -= count
+		next := bi + 1
+		for i, fe := meta.fstart, meta.fend; i < fe; i++ {
+			ins := &fcode[i]
+			switch ins.op {
+			case isa.OpAdd:
+				intRegs[ins.dst] = intRegs[ins.a] + intRegs[ins.b]
+			case isa.OpSub:
+				intRegs[ins.dst] = intRegs[ins.a] - intRegs[ins.b]
+			case isa.OpAnd:
+				intRegs[ins.dst] = intRegs[ins.a] & intRegs[ins.b]
+			case isa.OpOr:
+				intRegs[ins.dst] = intRegs[ins.a] | intRegs[ins.b]
+			case isa.OpXor:
+				intRegs[ins.dst] = intRegs[ins.a] ^ intRegs[ins.b]
+			case isa.OpShl:
+				intRegs[ins.dst] = intRegs[ins.a] << (intRegs[ins.b] & 63)
+			case isa.OpShr:
+				intRegs[ins.dst] = intRegs[ins.a] >> (intRegs[ins.b] & 63)
+			case isa.OpRor:
+				k := intRegs[ins.b] & 63
+				v := intRegs[ins.a]
+				intRegs[ins.dst] = (v >> k) | (v << ((64 - k) & 63))
+			case isa.OpCmpLT:
+				if intRegs[ins.a] < intRegs[ins.b] {
+					intRegs[ins.dst] = 1
+				} else {
+					intRegs[ins.dst] = 0
+				}
+			case isa.OpCmpEQ:
+				if intRegs[ins.a] == intRegs[ins.b] {
+					intRegs[ins.dst] = 1
+				} else {
+					intRegs[ins.dst] = 0
+				}
+			case isa.OpMov:
+				intRegs[ins.dst] = intRegs[ins.a]
+			case isa.OpMovI:
+				intRegs[ins.dst] = uint64(ins.imm)
+			case isa.OpAddI:
+				intRegs[ins.dst] = intRegs[ins.a] + uint64(ins.imm)
+
+			case isa.OpMul:
+				intRegs[ins.dst] = intRegs[ins.a] * intRegs[ins.b]
+			case isa.OpMulH:
+				hi, _ := mul64(intRegs[ins.a], intRegs[ins.b])
+				intRegs[ins.dst] = hi
+
+			case isa.OpFAdd:
+				fa := math.Float64frombits(fpRegs[ins.a])
+				fb := math.Float64frombits(fpRegs[ins.b])
+				fpRegs[ins.dst] = canonBits(fa + fb)
+			case isa.OpFSub:
+				fa := math.Float64frombits(fpRegs[ins.a])
+				fb := math.Float64frombits(fpRegs[ins.b])
+				fpRegs[ins.dst] = canonBits(fa - fb)
+			case isa.OpFMul:
+				fa := math.Float64frombits(fpRegs[ins.a])
+				fb := math.Float64frombits(fpRegs[ins.b])
+				fpRegs[ins.dst] = canonBits(fa * fb)
+			case isa.OpFDiv:
+				fa := math.Float64frombits(fpRegs[ins.a])
+				fb := math.Float64frombits(fpRegs[ins.b])
+				fpRegs[ins.dst] = canonBits(fa / fb)
+			case isa.OpFSqrt:
+				fa := math.Float64frombits(fpRegs[ins.a])
+				fpRegs[ins.dst] = canonBits(math.Sqrt(math.Abs(fa)))
+			case isa.OpFMov:
+				fpRegs[ins.dst] = fpRegs[ins.a]
+			case isa.OpFCvt:
+				fpRegs[ins.dst] = canonBits(float64(int64(intRegs[ins.a])))
+			case isa.OpFToI:
+				intRegs[ins.dst] = clampToInt64(math.Float64frombits(fpRegs[ins.a]))
+
+			case isa.OpLoad:
+				addr := (intRegs[ins.a] + uint64(ins.imm)) & mask &^ 7
+				intRegs[ins.dst] = binary.LittleEndian.Uint64(mem[addr:])
+			case isa.OpFLoad:
+				addr := (intRegs[ins.a] + uint64(ins.imm)) & mask &^ 7
+				fpRegs[ins.dst] = canonFPBits(binary.LittleEndian.Uint64(mem[addr:]))
+			case isa.OpStore:
+				addr := (intRegs[ins.a] + uint64(ins.imm)) & mask &^ 7
+				m.markDirty(addr)
+				binary.LittleEndian.PutUint64(mem[addr:], intRegs[ins.b])
+			case isa.OpFStore:
+				addr := (intRegs[ins.a] + uint64(ins.imm)) & mask &^ 7
+				m.markDirty(addr)
+				binary.LittleEndian.PutUint64(mem[addr:], fpRegs[ins.b])
+
+			case isa.OpBeq:
+				st.condBranches++
+				if intRegs[ins.a] == intRegs[ins.b] {
+					st.takenBranches++
+					next = ins.target
+				}
+			case isa.OpBne:
+				st.condBranches++
+				if intRegs[ins.a] != intRegs[ins.b] {
+					st.takenBranches++
+					next = ins.target
+				}
+			case isa.OpBlt:
+				st.condBranches++
+				if intRegs[ins.a] < intRegs[ins.b] {
+					st.takenBranches++
+					next = ins.target
+				}
+			case isa.OpBge:
+				st.condBranches++
+				if intRegs[ins.a] >= intRegs[ins.b] {
+					st.takenBranches++
+					next = ins.target
+				}
+			case isa.OpJmp:
+				next = ins.target
+			case isa.OpHalt:
+				// retired/tally already account the halt (it is part of the
+				// block); the stale untilSnap is irrelevant past this point.
+				break blockLoop
+
+			case isa.OpVAdd:
+				va, vb := &m.vecRegs[ins.a], &m.vecRegs[ins.b]
+				vd := &m.vecRegs[ins.dst]
+				for l := 0; l < isa.VecLanes; l++ {
+					vd[l] = va[l] + vb[l]
+				}
+			case isa.OpVXor:
+				va, vb := &m.vecRegs[ins.a], &m.vecRegs[ins.b]
+				vd := &m.vecRegs[ins.dst]
+				for l := 0; l < isa.VecLanes; l++ {
+					vd[l] = va[l] ^ vb[l]
+				}
+			case isa.OpVMul:
+				va, vb := &m.vecRegs[ins.a], &m.vecRegs[ins.b]
+				vd := &m.vecRegs[ins.dst]
+				for l := 0; l < isa.VecLanes; l++ {
+					vd[l] = va[l] * vb[l]
+				}
+			case isa.OpVBcast:
+				v := intRegs[ins.a]
+				vd := &m.vecRegs[ins.dst]
+				for l := 0; l < isa.VecLanes; l++ {
+					vd[l] = v + uint64(l)
+				}
+			case isa.OpVRed:
+				va := &m.vecRegs[ins.a]
+				intRegs[ins.dst] = va[0] ^ va[1] ^ va[2] ^ va[3]
+
+			// Fused superinstructions: exactly "first half, then second
+			// half", with the second half's operands unpacked from the
+			// encodings documented in fuse.go.
+			case isa.OpFuseCmpLTBeq:
+				var v uint64
+				if intRegs[ins.a] < intRegs[ins.b] {
+					v = 1
+				}
+				intRegs[ins.dst] = v
+				st.condBranches++
+				if intRegs[uint8(ins.aux)] == intRegs[uint8(ins.aux>>8)] {
+					st.takenBranches++
+					next = ins.target
+				}
+			case isa.OpFuseCmpLTBne:
+				var v uint64
+				if intRegs[ins.a] < intRegs[ins.b] {
+					v = 1
+				}
+				intRegs[ins.dst] = v
+				st.condBranches++
+				if intRegs[uint8(ins.aux)] != intRegs[uint8(ins.aux>>8)] {
+					st.takenBranches++
+					next = ins.target
+				}
+			case isa.OpFuseCmpEQBeq:
+				var v uint64
+				if intRegs[ins.a] == intRegs[ins.b] {
+					v = 1
+				}
+				intRegs[ins.dst] = v
+				st.condBranches++
+				if intRegs[uint8(ins.aux)] == intRegs[uint8(ins.aux>>8)] {
+					st.takenBranches++
+					next = ins.target
+				}
+			case isa.OpFuseCmpEQBne:
+				var v uint64
+				if intRegs[ins.a] == intRegs[ins.b] {
+					v = 1
+				}
+				intRegs[ins.dst] = v
+				st.condBranches++
+				if intRegs[uint8(ins.aux)] != intRegs[uint8(ins.aux>>8)] {
+					st.takenBranches++
+					next = ins.target
+				}
+			case isa.OpFuseAddIBeq:
+				intRegs[ins.dst] = intRegs[ins.a] + uint64(ins.imm)
+				st.condBranches++
+				if intRegs[uint8(ins.aux)] == intRegs[uint8(ins.aux>>8)] {
+					st.takenBranches++
+					next = ins.target
+				}
+			case isa.OpFuseAddIBne:
+				intRegs[ins.dst] = intRegs[ins.a] + uint64(ins.imm)
+				st.condBranches++
+				if intRegs[uint8(ins.aux)] != intRegs[uint8(ins.aux>>8)] {
+					st.takenBranches++
+					next = ins.target
+				}
+			case isa.OpFuseMovIAdd:
+				intRegs[uint8(ins.aux)] = uint64(ins.imm)
+				intRegs[ins.dst] = intRegs[ins.a] + intRegs[ins.b]
+			case isa.OpFuseMovISub:
+				intRegs[uint8(ins.aux)] = uint64(ins.imm)
+				intRegs[ins.dst] = intRegs[ins.a] - intRegs[ins.b]
+			case isa.OpFuseMovIXor:
+				intRegs[uint8(ins.aux)] = uint64(ins.imm)
+				intRegs[ins.dst] = intRegs[ins.a] ^ intRegs[ins.b]
+			case isa.OpFuseMovIAnd:
+				intRegs[uint8(ins.aux)] = uint64(ins.imm)
+				intRegs[ins.dst] = intRegs[ins.a] & intRegs[ins.b]
+			case isa.OpFuseMovIOr:
+				intRegs[uint8(ins.aux)] = uint64(ins.imm)
+				intRegs[ins.dst] = intRegs[ins.a] | intRegs[ins.b]
+			case isa.OpFuseAddILoad:
+				intRegs[ins.dst] = intRegs[ins.a] + uint64(ins.imm)
+				addr := (intRegs[uint8(ins.aux>>8)] + uint64(ins.target)) & mask &^ 7
+				intRegs[uint8(ins.aux)] = binary.LittleEndian.Uint64(mem[addr:])
+			case isa.OpFuseAddIStor:
+				intRegs[ins.dst] = intRegs[ins.a] + uint64(ins.imm)
+				addr := (intRegs[uint8(ins.aux)] + uint64(ins.target)) & mask &^ 7
+				m.markDirty(addr)
+				binary.LittleEndian.PutUint64(mem[addr:], intRegs[uint8(ins.aux>>8)])
+			case isa.OpFuseMulAdd:
+				intRegs[ins.dst] = intRegs[ins.a] * intRegs[ins.b]
+				intRegs[uint8(ins.aux)] = intRegs[uint8(ins.aux>>8)] + intRegs[uint8(ins.aux>>16)]
+			case isa.OpFuseFMulFAdd:
+				fa := math.Float64frombits(fpRegs[ins.a])
+				fb := math.Float64frombits(fpRegs[ins.b])
+				fpRegs[ins.dst] = canonBits(fa * fb)
+				fa2 := math.Float64frombits(fpRegs[uint8(ins.aux>>8)])
+				fb2 := math.Float64frombits(fpRegs[uint8(ins.aux>>16)])
+				fpRegs[uint8(ins.aux)] = canonBits(fa2 + fb2)
+			case isa.OpFuseRorAnd:
+				k := intRegs[ins.b] & 63
+				v := intRegs[ins.a]
+				intRegs[ins.dst] = (v >> k) | (v << ((64 - k) & 63))
+				intRegs[uint8(ins.aux)] = intRegs[uint8(ins.aux>>8)] & intRegs[uint8(ins.aux>>16)]
+			case isa.OpFuseAddJmp:
+				intRegs[ins.dst] = intRegs[ins.a] + intRegs[ins.b]
+				next = ins.target
+			case isa.OpFuseSubJmp:
+				intRegs[ins.dst] = intRegs[ins.a] - intRegs[ins.b]
+				next = ins.target
+			case isa.OpFuseAndJmp:
+				intRegs[ins.dst] = intRegs[ins.a] & intRegs[ins.b]
+				next = ins.target
+			case isa.OpFuseOrJmp:
+				intRegs[ins.dst] = intRegs[ins.a] | intRegs[ins.b]
+				next = ins.target
+			case isa.OpFuseXorJmp:
+				intRegs[ins.dst] = intRegs[ins.a] ^ intRegs[ins.b]
+				next = ins.target
+			case isa.OpFuseShlJmp:
+				intRegs[ins.dst] = intRegs[ins.a] << (intRegs[ins.b] & 63)
+				next = ins.target
+			case isa.OpFuseShrJmp:
+				intRegs[ins.dst] = intRegs[ins.a] >> (intRegs[ins.b] & 63)
+				next = ins.target
+			case isa.OpFuseRorJmp:
+				k := intRegs[ins.b] & 63
+				v := intRegs[ins.a]
+				intRegs[ins.dst] = (v >> k) | (v << ((64 - k) & 63))
+				next = ins.target
+			case isa.OpFuseCmpLTJmp:
+				if intRegs[ins.a] < intRegs[ins.b] {
+					intRegs[ins.dst] = 1
+				} else {
+					intRegs[ins.dst] = 0
+				}
+				next = ins.target
+			case isa.OpFuseCmpEQJmp:
+				if intRegs[ins.a] == intRegs[ins.b] {
+					intRegs[ins.dst] = 1
+				} else {
+					intRegs[ins.dst] = 0
+				}
+				next = ins.target
+			case isa.OpFuseMovJmp:
+				intRegs[ins.dst] = intRegs[ins.a]
+				next = ins.target
+			case isa.OpFuseMovIJmp:
+				intRegs[ins.dst] = uint64(ins.imm)
+				next = ins.target
+			case isa.OpFuseAddIJmp:
+				intRegs[ins.dst] = intRegs[ins.a] + uint64(ins.imm)
+				next = ins.target
+			case isa.OpFuseMulJmp:
+				intRegs[ins.dst] = intRegs[ins.a] * intRegs[ins.b]
+				next = ins.target
+			case isa.OpFuseMulHJmp:
+				hi, _ := mul64(intRegs[ins.a], intRegs[ins.b])
+				intRegs[ins.dst] = hi
+				next = ins.target
+			case isa.OpFuseFAddJmp:
+				fa := math.Float64frombits(fpRegs[ins.a])
+				fb := math.Float64frombits(fpRegs[ins.b])
+				fpRegs[ins.dst] = canonBits(fa + fb)
+				next = ins.target
+			case isa.OpFuseFSubJmp:
+				fa := math.Float64frombits(fpRegs[ins.a])
+				fb := math.Float64frombits(fpRegs[ins.b])
+				fpRegs[ins.dst] = canonBits(fa - fb)
+				next = ins.target
+			case isa.OpFuseFMulJmp:
+				fa := math.Float64frombits(fpRegs[ins.a])
+				fb := math.Float64frombits(fpRegs[ins.b])
+				fpRegs[ins.dst] = canonBits(fa * fb)
+				next = ins.target
+			case isa.OpFuseFDivJmp:
+				fa := math.Float64frombits(fpRegs[ins.a])
+				fb := math.Float64frombits(fpRegs[ins.b])
+				fpRegs[ins.dst] = canonBits(fa / fb)
+				next = ins.target
+			case isa.OpFuseFSqrtJmp:
+				fa := math.Float64frombits(fpRegs[ins.a])
+				fpRegs[ins.dst] = canonBits(math.Sqrt(math.Abs(fa)))
+				next = ins.target
+			case isa.OpFuseFMovJmp:
+				fpRegs[ins.dst] = fpRegs[ins.a]
+				next = ins.target
+			case isa.OpFuseFCvtJmp:
+				fpRegs[ins.dst] = canonBits(float64(int64(intRegs[ins.a])))
+				next = ins.target
+			case isa.OpFuseFToIJmp:
+				intRegs[ins.dst] = clampToInt64(math.Float64frombits(fpRegs[ins.a]))
+				next = ins.target
+			case isa.OpFuseLoadJmp:
+				addr := (intRegs[ins.a] + uint64(ins.imm)) & mask &^ 7
+				intRegs[ins.dst] = binary.LittleEndian.Uint64(mem[addr:])
+				next = ins.target
+			case isa.OpFuseFLoadJmp:
+				addr := (intRegs[ins.a] + uint64(ins.imm)) & mask &^ 7
+				fpRegs[ins.dst] = canonFPBits(binary.LittleEndian.Uint64(mem[addr:]))
+				next = ins.target
+			case isa.OpFuseStoreJmp:
+				addr := (intRegs[ins.a] + uint64(ins.imm)) & mask &^ 7
+				m.markDirty(addr)
+				binary.LittleEndian.PutUint64(mem[addr:], intRegs[ins.b])
+				next = ins.target
+			case isa.OpFuseFStoreJmp:
+				addr := (intRegs[ins.a] + uint64(ins.imm)) & mask &^ 7
+				m.markDirty(addr)
+				binary.LittleEndian.PutUint64(mem[addr:], fpRegs[ins.b])
+				next = ins.target
+			case isa.OpFuseVAddJmp:
+				va, vb := &m.vecRegs[ins.a], &m.vecRegs[ins.b]
+				vd := &m.vecRegs[ins.dst]
+				for l := 0; l < isa.VecLanes; l++ {
+					vd[l] = va[l] + vb[l]
+				}
+				next = ins.target
+			case isa.OpFuseVXorJmp:
+				va, vb := &m.vecRegs[ins.a], &m.vecRegs[ins.b]
+				vd := &m.vecRegs[ins.dst]
+				for l := 0; l < isa.VecLanes; l++ {
+					vd[l] = va[l] ^ vb[l]
+				}
+				next = ins.target
+			case isa.OpFuseVMulJmp:
+				va, vb := &m.vecRegs[ins.a], &m.vecRegs[ins.b]
+				vd := &m.vecRegs[ins.dst]
+				for l := 0; l < isa.VecLanes; l++ {
+					vd[l] = va[l] * vb[l]
+				}
+				next = ins.target
+			case isa.OpFuseVBcastJmp:
+				v := intRegs[ins.a]
+				vd := &m.vecRegs[ins.dst]
+				for l := 0; l < isa.VecLanes; l++ {
+					vd[l] = v + uint64(l)
+				}
+				next = ins.target
+			case isa.OpFuseVRedJmp:
+				va := &m.vecRegs[ins.a]
+				intRegs[ins.dst] = va[0] ^ va[1] ^ va[2] ^ va[3]
+				next = ins.target
+
+			case isa.OpFuseAddAdd:
+				intRegs[ins.dst] = intRegs[ins.a] + intRegs[ins.b]
+				intRegs[uint8(ins.aux)] = intRegs[uint8(ins.aux>>8)] + intRegs[uint8(ins.aux>>16)]
+			case isa.OpFuseAddSub:
+				intRegs[ins.dst] = intRegs[ins.a] + intRegs[ins.b]
+				intRegs[uint8(ins.aux)] = intRegs[uint8(ins.aux>>8)] - intRegs[uint8(ins.aux>>16)]
+			case isa.OpFuseAddXor:
+				intRegs[ins.dst] = intRegs[ins.a] + intRegs[ins.b]
+				intRegs[uint8(ins.aux)] = intRegs[uint8(ins.aux>>8)] ^ intRegs[uint8(ins.aux>>16)]
+			case isa.OpFuseSubAdd:
+				intRegs[ins.dst] = intRegs[ins.a] - intRegs[ins.b]
+				intRegs[uint8(ins.aux)] = intRegs[uint8(ins.aux>>8)] + intRegs[uint8(ins.aux>>16)]
+			case isa.OpFuseSubSub:
+				intRegs[ins.dst] = intRegs[ins.a] - intRegs[ins.b]
+				intRegs[uint8(ins.aux)] = intRegs[uint8(ins.aux>>8)] - intRegs[uint8(ins.aux>>16)]
+			case isa.OpFuseSubXor:
+				intRegs[ins.dst] = intRegs[ins.a] - intRegs[ins.b]
+				intRegs[uint8(ins.aux)] = intRegs[uint8(ins.aux>>8)] ^ intRegs[uint8(ins.aux>>16)]
+			case isa.OpFuseXorAdd:
+				intRegs[ins.dst] = intRegs[ins.a] ^ intRegs[ins.b]
+				intRegs[uint8(ins.aux)] = intRegs[uint8(ins.aux>>8)] + intRegs[uint8(ins.aux>>16)]
+			case isa.OpFuseXorSub:
+				intRegs[ins.dst] = intRegs[ins.a] ^ intRegs[ins.b]
+				intRegs[uint8(ins.aux)] = intRegs[uint8(ins.aux>>8)] - intRegs[uint8(ins.aux>>16)]
+			case isa.OpFuseXorXor:
+				intRegs[ins.dst] = intRegs[ins.a] ^ intRegs[ins.b]
+				intRegs[uint8(ins.aux)] = intRegs[uint8(ins.aux>>8)] ^ intRegs[uint8(ins.aux>>16)]
+			}
+		}
+		bi = next
+	}
+
+	// Final snapshot captures the terminal state (always emitted, so even
+	// an empty program contributes output).
+	res.Output = m.appendSnapshot(res.Output, st.retired)
+	res.Snapshots++
+	res.Retired = st.retired
+	res.Truncated = truncated
+	res.CondBranches = st.condBranches
+	res.TakenBranches = st.takenBranches
+
+	// Fold the deferred fast-path class accounting (block execution counts
+	// x static per-block tallies) into the slow path's exact counts.
+	classCounts := st.classCounts
+	for b := range blocks {
+		n := blocks[b].execs
+		if n == 0 {
+			continue
+		}
+		t := &m.blockTally[b]
+		for c := 1; c < isa.NumClasses; c++ {
+			classCounts[c] += n * uint64(t[c])
+		}
+	}
+	res.ClassCounts = classCounts
+}
+
+// runBlockSlow executes block bi per-instruction over the unfused code with
+// the full per-instruction budget and snapshot checks — the exact semantics
+// of the pre-block-batching interpreter. The fast loop calls it for the
+// rare blocks that straddle an instruction-budget or snapshot boundary, so
+// truncation points, snapshot contents and retired counts never depend on
+// block shape or fusion. It returns the next block to execute (for
+// slowNext) or the terminal status.
+func (m *Machine) runBlockSlow(bi uint32, st *execState, res *Result) (uint32, slowStatus) {
 	code := m.code
 	mem := m.mem
 	intRegs := &m.intRegs
 	fpRegs := &m.fpRegs
-
 	mask := uint64(m.memSize - 1)
-	maxInstr := params.MaxInstructions
-	var pc uint32
-	var retired uint64
-	var condBranches, takenBranches uint64
-	var classCounts [isa.NumClasses]uint64
-	untilSnap := params.SnapshotInterval
-	truncated := false
 
-	for {
-		if retired >= maxInstr {
-			truncated = true
-			break
+	meta := &m.blocks[bi]
+	pc := meta.start
+	end := meta.start + meta.count
+	for pc < end {
+		if st.retired >= st.maxInstr {
+			return 0, slowTrunc
 		}
 		ins := &code[pc]
-		nextPC := pc + 1
+		var next uint32
+		taken := false
 
 		switch ins.op {
 		case isa.OpAdd:
@@ -348,27 +1031,22 @@ func (m *Machine) runUnobserved(params Params, res *Result) {
 		case isa.OpFAdd:
 			fa := math.Float64frombits(fpRegs[ins.a])
 			fb := math.Float64frombits(fpRegs[ins.b])
-			r := fa + fb
-			fpRegs[ins.dst] = canonBits(r)
+			fpRegs[ins.dst] = canonBits(fa + fb)
 		case isa.OpFSub:
 			fa := math.Float64frombits(fpRegs[ins.a])
 			fb := math.Float64frombits(fpRegs[ins.b])
-			r := fa - fb
-			fpRegs[ins.dst] = canonBits(r)
+			fpRegs[ins.dst] = canonBits(fa - fb)
 		case isa.OpFMul:
 			fa := math.Float64frombits(fpRegs[ins.a])
 			fb := math.Float64frombits(fpRegs[ins.b])
-			r := fa * fb
-			fpRegs[ins.dst] = canonBits(r)
+			fpRegs[ins.dst] = canonBits(fa * fb)
 		case isa.OpFDiv:
 			fa := math.Float64frombits(fpRegs[ins.a])
 			fb := math.Float64frombits(fpRegs[ins.b])
-			r := fa / fb
-			fpRegs[ins.dst] = canonBits(r)
+			fpRegs[ins.dst] = canonBits(fa / fb)
 		case isa.OpFSqrt:
 			fa := math.Float64frombits(fpRegs[ins.a])
-			r := math.Sqrt(math.Abs(fa))
-			fpRegs[ins.dst] = canonBits(r)
+			fpRegs[ins.dst] = canonBits(math.Sqrt(math.Abs(fa)))
 		case isa.OpFMov:
 			fpRegs[ins.dst] = fpRegs[ins.a]
 		case isa.OpFCvt:
@@ -384,42 +1062,45 @@ func (m *Machine) runUnobserved(params Params, res *Result) {
 			fpRegs[ins.dst] = canonFPBits(binary.LittleEndian.Uint64(mem[addr:]))
 		case isa.OpStore:
 			addr := (intRegs[ins.a] + uint64(ins.imm)) & mask &^ 7
+			m.markDirty(addr)
 			binary.LittleEndian.PutUint64(mem[addr:], intRegs[ins.b])
 		case isa.OpFStore:
 			addr := (intRegs[ins.a] + uint64(ins.imm)) & mask &^ 7
+			m.markDirty(addr)
 			binary.LittleEndian.PutUint64(mem[addr:], fpRegs[ins.b])
 
 		case isa.OpBeq:
-			condBranches++
+			st.condBranches++
 			if intRegs[ins.a] == intRegs[ins.b] {
-				takenBranches++
-				nextPC = ins.target
+				st.takenBranches++
+				taken, next = true, ins.aux
 			}
 		case isa.OpBne:
-			condBranches++
+			st.condBranches++
 			if intRegs[ins.a] != intRegs[ins.b] {
-				takenBranches++
-				nextPC = ins.target
+				st.takenBranches++
+				taken, next = true, ins.aux
 			}
 		case isa.OpBlt:
-			condBranches++
+			st.condBranches++
 			if intRegs[ins.a] < intRegs[ins.b] {
-				takenBranches++
-				nextPC = ins.target
+				st.takenBranches++
+				taken, next = true, ins.aux
 			}
 		case isa.OpBge:
-			condBranches++
+			st.condBranches++
 			if intRegs[ins.a] >= intRegs[ins.b] {
-				takenBranches++
-				nextPC = ins.target
+				st.takenBranches++
+				taken, next = true, ins.aux
 			}
 		case isa.OpJmp:
-			nextPC = ins.target
+			taken, next = true, ins.aux
 		case isa.OpHalt:
-			// Retire the halt, then stop.
-			retired++
-			classCounts[ins.class]++
-			goto done
+			// Retire the halt, then stop. Like the pre-batching loop, a
+			// halt never advances the snapshot countdown.
+			st.retired++
+			st.classCounts[ins.class]++
+			return 0, slowHalt
 
 		case isa.OpVAdd:
 			va, vb := &m.vecRegs[ins.a], &m.vecRegs[ins.b]
@@ -450,28 +1131,20 @@ func (m *Machine) runUnobserved(params Params, res *Result) {
 			intRegs[ins.dst] = va[0] ^ va[1] ^ va[2] ^ va[3]
 		}
 
-		retired++
-		classCounts[ins.class]++
-
-		untilSnap--
-		if untilSnap == 0 {
-			res.Output = m.appendSnapshot(res.Output, retired)
+		st.retired++
+		st.classCounts[ins.class]++
+		st.untilSnap--
+		if st.untilSnap == 0 {
+			res.Output = m.appendSnapshot(res.Output, st.retired)
 			res.Snapshots++
-			untilSnap = params.SnapshotInterval
+			st.untilSnap = st.snapInterval
 		}
-		pc = nextPC
+		if taken {
+			return next, slowNext
+		}
+		pc++
 	}
-
-done:
-	// Final snapshot captures the terminal state (always emitted, so even
-	// an empty program contributes output).
-	res.Output = m.appendSnapshot(res.Output, retired)
-	res.Snapshots++
-	res.Retired = retired
-	res.Truncated = truncated
-	res.CondBranches = condBranches
-	res.TakenBranches = takenBranches
-	res.ClassCounts = classCounts
+	return bi + 1, slowNext
 }
 
 // runObserved is the instrumented interpreter loop: every retired
@@ -583,10 +1256,12 @@ func (m *Machine) runObserved(params Params, obs Observer, res *Result) {
 		case isa.OpStore:
 			addr = (m.intRegs[ins.a] + uint64(ins.imm)) & mask &^ 7
 			isMem = true
+			m.markDirty(addr)
 			binary.LittleEndian.PutUint64(m.mem[addr:], m.intRegs[ins.b])
 		case isa.OpFStore:
 			addr = (m.intRegs[ins.a] + uint64(ins.imm)) & mask &^ 7
 			isMem = true
+			m.markDirty(addr)
 			binary.LittleEndian.PutUint64(m.mem[addr:], m.fpRegs[ins.b])
 
 		case isa.OpBeq:
