@@ -9,7 +9,8 @@
 //	hcbench -run vm             # hash-pipeline microbenchmark -> BENCH_vm.json
 //	hcbench -run pool           # share-verification throughput -> BENCH_pool.json
 //	hcbench -run chain          # node validation/reorg/replay -> BENCH_chain.json
-//	hcbench -run table1|fig1|fig2|fig3|sizes|noise|genvssel|randomx|baselines|mine|vm|pool|chain
+//	hcbench -run sync           # p2p cold-sync over TCP -> BENCH_sync.json
+//	hcbench -run table1|fig1|fig2|fig3|sizes|noise|genvssel|randomx|baselines|mine|vm|pool|chain|sync
 //
 // The vm experiment measures the production hashing path (a dedicated
 // session, the fused block-batched interpreter loop) and writes a
@@ -24,7 +25,9 @@
 // writing BENCH_pool.json. The chain experiment benchmarks the node
 // subsystem — block-validation, fork-reorg and restart-replay
 // throughput on both the in-memory and the append-only file store —
-// writing BENCH_chain.json.
+// writing BENCH_chain.json. The sync experiment benchmarks the p2p
+// layer: cold header-first sync of a premined chain over real TCP into
+// mem, file, and group-commit file stores, writing BENCH_sync.json.
 package main
 
 import (
@@ -42,7 +45,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (all, table1, fig1, fig2, fig3, sizes, noise, genvssel, predictors, randomx, baselines, mine, vm, pool, chain)")
+	run := flag.String("run", "all", "experiment to run (all, table1, fig1, fig2, fig3, sizes, noise, genvssel, predictors, randomx, baselines, mine, vm, pool, chain, sync)")
 	n := flag.Int("n", 1000, "widget population size for fig2/fig3/sizes/noise")
 	profileName := flag.String("profile", "leela", "reference workload profile")
 	seed := flag.Uint64("seed", 2019, "master seed for widget seeds")
@@ -53,6 +56,8 @@ func main() {
 	poolOut := flag.String("poolout", "BENCH_pool.json", "output path for the pool benchmark JSON")
 	chainN := flag.Int("chainn", 512, "blocks for the chain validation/reorg benchmark")
 	chainOut := flag.String("chainout", "BENCH_chain.json", "output path for the chain benchmark JSON")
+	syncN := flag.Int("syncn", 512, "blocks for the p2p cold-sync benchmark")
+	syncOut := flag.String("syncout", "BENCH_sync.json", "output path for the sync benchmark JSON")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
@@ -73,7 +78,7 @@ func main() {
 		cpuFile = f
 	}
 
-	err := dispatch(*run, *n, *profileName, *seed, *benchN, *benchOut, *poolN, *poolWorkers, *poolOut, *chainN, *chainOut)
+	err := dispatch(*run, *n, *profileName, *seed, *benchN, *benchOut, *poolN, *poolWorkers, *poolOut, *chainN, *chainOut, *syncN, *syncOut)
 
 	if cpuFile != nil {
 		pprof.StopCPUProfile()
@@ -109,7 +114,7 @@ func writeMemProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
-func dispatch(run string, n int, profileName string, seed uint64, benchN int, benchOut string, poolN, poolWorkers int, poolOut string, chainN int, chainOut string) error {
+func dispatch(run string, n int, profileName string, seed uint64, benchN int, benchOut string, poolN, poolWorkers int, poolOut string, chainN int, chainOut string, syncN int, syncOut string) error {
 	wants := map[string]bool{}
 	for _, name := range strings.Split(run, ",") {
 		wants[strings.TrimSpace(name)] = true
@@ -218,6 +223,12 @@ func dispatch(run string, n int, profileName string, seed uint64, benchN int, be
 	if all || wants["chain"] {
 		fmt.Println("== Chain validation / reorg / replay throughput ==")
 		if err := runChainBench(chainN, chainOut); err != nil {
+			return err
+		}
+	}
+	if all || wants["sync"] {
+		fmt.Println("== P2P cold-sync throughput (real TCP, header-first) ==")
+		if err := runSyncBench(syncN, syncOut); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"hashcore/internal/baseline"
+	"hashcore/internal/blockchain"
+	"hashcore/internal/p2p"
+	"hashcore/internal/pow"
+)
+
+// SyncStoreBench is one receiving-store configuration's numbers in the
+// sync benchmark.
+type SyncStoreBench struct {
+	// Store names the syncing node's store: "mem", "file" (fsync per
+	// append) or "file-batched" (group commit).
+	Store string `json:"store"`
+	// BlocksPerS is cold-sync throughput: blocks fetched over real TCP,
+	// fully validated and persisted, per second.
+	BlocksPerS float64 `json:"blocks_per_sec"`
+	// Seconds is the wall-clock duration of the cold sync.
+	Seconds float64 `json:"seconds"`
+}
+
+// SyncBenchReport is the machine-readable record of one sync benchmark
+// run (BENCH_sync.json).
+type SyncBenchReport struct {
+	Hasher    string           `json:"hasher"`
+	Blocks    int              `json:"blocks"`
+	GoVersion string           `json:"go_version"`
+	GOARCH    string           `json:"goarch"`
+	Timestamp string           `json:"timestamp"`
+	Stores    []SyncStoreBench `json:"stores"`
+}
+
+// premineLinear mines a linear n-block sha256d chain at the default
+// easy difficulty, off-line of any timing.
+func premineLinear(n int) ([]blockchain.Block, error) {
+	params := blockchain.DefaultParams()
+	c, err := blockchain.NewChain(params, baseline.SHA256d{})
+	if err != nil {
+		return nil, err
+	}
+	miner := pow.NewMiner(baseline.SHA256d{}, runtime.GOMAXPROCS(0))
+	blocks := make([]blockchain.Block, 0, n)
+	parent := c.GenesisID()
+	tm := params.GenesisTime
+	for i := 0; i < n; i++ {
+		tm += params.TargetSpacing
+		bits, err := c.NextBits(parent)
+		if err != nil {
+			return nil, err
+		}
+		txs := [][]byte{{'s', byte(i), byte(i >> 8)}}
+		h := blockchain.Header{
+			Version:    1,
+			PrevHash:   parent,
+			MerkleRoot: blockchain.MerkleRoot(txs),
+			Time:       tm,
+			Bits:       bits,
+		}
+		target, err := pow.CompactToTarget(bits)
+		if err != nil {
+			return nil, err
+		}
+		res, err := miner.Mine(context.Background(), h.MiningPrefix(), target, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		h.Nonce = res.Nonce
+		b := blockchain.Block{Header: h, Txs: txs}
+		if parent, err = c.AddBlock(b); err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, b)
+	}
+	return blocks, nil
+}
+
+// runSyncBench measures header-first cold sync over real TCP: a source
+// node holds an n-block chain, a fresh node connects and must converge,
+// once per receiving-store configuration. Writes BENCH_sync.json.
+func runSyncBench(n int, outPath string) error {
+	if n < 16 {
+		n = 16
+	}
+	blocks, err := premineLinear(n)
+	if err != nil {
+		return err
+	}
+	params := blockchain.DefaultParams()
+	source, err := blockchain.OpenNode(blockchain.NodeConfig{Params: params, Hasher: baseline.SHA256d{}})
+	if err != nil {
+		return err
+	}
+	defer source.Close()
+	for _, b := range blocks {
+		if _, err := source.AddBlock(b); err != nil {
+			return fmt.Errorf("sync bench premine: %w", err)
+		}
+	}
+	srcMgr, err := p2p.New(p2p.Config{
+		Node:       source,
+		ListenAddr: "127.0.0.1:0",
+		Logf:       func(string, ...any) {},
+	})
+	if err != nil {
+		return err
+	}
+	if err := srcMgr.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srcMgr.Close(ctx)
+	}()
+
+	tmpDir, err := os.MkdirTemp("", "hcbench-sync-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmpDir)
+
+	rep := SyncBenchReport{
+		Hasher:    "sha256d",
+		Blocks:    n,
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	for _, kind := range []string{"mem", "file", "file-batched"} {
+		var store blockchain.Store
+		switch kind {
+		case "mem":
+			store = blockchain.NewMemStore()
+		case "file":
+			fs, err := blockchain.OpenFileStore(filepath.Join(tmpDir, "blocks-"+kind+".log"))
+			if err != nil {
+				return err
+			}
+			store = fs
+		case "file-batched":
+			fs, err := blockchain.OpenFileStoreWith(filepath.Join(tmpDir, "blocks-"+kind+".log"),
+				blockchain.FileStoreOptions{BatchAppends: 64})
+			if err != nil {
+				return err
+			}
+			store = fs
+		}
+		node, err := blockchain.OpenNode(blockchain.NodeConfig{Params: params, Hasher: baseline.SHA256d{}, Store: store})
+		if err != nil {
+			return err
+		}
+		mgr, err := p2p.New(p2p.Config{Node: node, Logf: func(string, ...any) {}})
+		if err != nil {
+			node.Close()
+			return err
+		}
+		if err := mgr.Start(); err != nil {
+			node.Close()
+			return err
+		}
+
+		start := time.Now()
+		mgr.Connect(srcMgr.Addr())
+		deadline := time.Now().Add(120 * time.Second)
+		for node.TipID() != source.TipID() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("sync bench (%s): no convergence within deadline (height %d/%d)", kind, node.Height(), n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		elapsed := time.Since(start)
+
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err = mgr.Close(ctx)
+		cancel()
+		node.Close()
+		if err != nil {
+			return err
+		}
+
+		sb := SyncStoreBench{
+			Store:      kind,
+			BlocksPerS: float64(n) / elapsed.Seconds(),
+			Seconds:    elapsed.Seconds(),
+		}
+		rep.Stores = append(rep.Stores, sb)
+		fmt.Printf("%-14s %8.0f blocks/s  (%d blocks in %.3fs over TCP)\n", kind, sb.BlocksPerS, n, sb.Seconds)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", outPath)
+	return nil
+}

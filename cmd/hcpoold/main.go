@@ -9,13 +9,17 @@
 //	        [-share-zero-bits 10] [-block-zero-bits 14]
 //	        [-profile leela] [-verify-workers N] [-refresh 10s]
 //	        [-datadir /path/to/dir]
+//	        [-listen :9444] [-connect host:9444] [-network hashcore]
 //
 // Demo-scale defaults: the block target expects ~16k hash evaluations
 // and a share ~1k, so a few hcminer processes on the same machine find
 // shares every few seconds. With -datadir the chain is persisted to an
 // append-only block log and the daemon resumes its exact tip, height
-// and total work across restarts. Stop with SIGINT/SIGTERM for a
-// graceful drain.
+// and total work across restarts. With -listen/-connect the pool's
+// node joins the p2p network: solved blocks propagate to peers, and
+// when a peer's block (or a heavier branch) wins, the pool cuts a
+// clean job on the network tip within one tip event — pool jobs always
+// follow the network. Stop with SIGINT/SIGTERM for a graceful drain.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 
 	"hashcore"
 	"hashcore/internal/blockchain"
+	"hashcore/internal/p2p"
 	"hashcore/internal/pool"
 	"hashcore/internal/pow"
 )
@@ -46,16 +51,21 @@ func main() {
 	refresh := flag.Duration("refresh", 10*time.Second, "job refresh period (negative disables)")
 	name := flag.String("name", "hcpool", "pool name")
 	datadir := flag.String("datadir", "", "chain data directory (empty = in-memory, no persistence)")
+	listen := flag.String("listen", "", "p2p listen address (joins the block network)")
+	connect := flag.String("connect", "", "comma-separated p2p peer addresses to keep sessions with")
+	network := flag.String("network", "hashcore", "p2p network name pinned in handshakes")
 	flag.Parse()
 
-	if err := run(*addr, *httpAddr, *profileName, *name, *datadir, uint(*shareZeroBits), uint(*blockZeroBits),
+	if err := run(*addr, *httpAddr, *profileName, *name, *datadir, *listen, *connect, *network,
+		uint(*shareZeroBits), uint(*blockZeroBits),
 		*verifyWorkers, *queueDepth, *rangeSize, *refresh); err != nil {
 		fmt.Fprintln(os.Stderr, "hcpoold:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, httpAddr, profileName, name, datadir string, shareZeroBits, blockZeroBits uint,
+func run(addr, httpAddr, profileName, name, datadir, listen, connect, network string,
+	shareZeroBits, blockZeroBits uint,
 	verifyWorkers, queueDepth int, rangeSize uint64, refresh time.Duration) error {
 	h, err := hashcore.New(hashcore.WithProfile(profileName))
 	if err != nil {
@@ -94,6 +104,19 @@ func run(addr, httpAddr, profileName, name, datadir string, shareZeroBits, block
 			datadir, node.Height(), tip[:8], node.Replayed())
 	}
 
+	// Join the p2p network before the pool starts, so the first job can
+	// already be templated off a synced tip.
+	var mgr *p2p.Manager
+	if listen != "" || connect != "" {
+		mgr, err = p2p.StartNetwork(node, network, "hcpoold/1", listen, connect)
+		if err != nil {
+			return err
+		}
+		if a := mgr.Addr(); a != "" {
+			fmt.Printf("hcpoold: p2p listening on %s (network %q)\n", a, network)
+		}
+	}
+
 	srv, err := pool.NewServer(pool.Config{
 		Addr:            addr,
 		HTTPAddr:        httpAddr,
@@ -124,6 +147,11 @@ func run(addr, httpAddr, profileName, name, datadir string, shareZeroBits, block
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	if mgr != nil {
+		if err := mgr.Close(ctx); err != nil {
+			return fmt.Errorf("p2p shutdown: %w", err)
+		}
 	}
 	fmt.Printf("hcpoold: done (%d blocks solved, chain height %d)\n", srv.Blocks(), node.Height())
 	return nil

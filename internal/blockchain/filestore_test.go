@@ -205,7 +205,7 @@ func TestBlockRecordRoundTrip(t *testing.T) {
 		Header: Header{Version: 7, PrevHash: Hash{1}, MerkleRoot: Hash{2}, Time: 99, Bits: 0x1d00ffff, Nonce: 42},
 		Txs:    [][]byte{[]byte("alpha"), {}, []byte("gamma")},
 	}
-	got, err := unmarshalBlock(marshalBlock(b))
+	got, err := UnmarshalBlock(MarshalBlock(b))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestBlockRecordRoundTrip(t *testing.T) {
 		}
 	}
 	// Structural damage must be rejected, not crash.
-	if _, err := unmarshalBlock(marshalBlock(b)[:HeaderSize+2]); err == nil {
+	if _, err := UnmarshalBlock(MarshalBlock(b)[:HeaderSize+2]); err == nil {
 		t.Error("truncated payload accepted")
 	}
 }

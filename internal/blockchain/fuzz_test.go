@@ -97,16 +97,16 @@ func FuzzVerifyMerkleProof(f *testing.F) {
 // it raw disk bytes after a crash.
 func FuzzBlockRecordRoundTrip(f *testing.F) {
 	b := Block{Header: Header{Version: 1, Bits: 0x1d00ffff}, Txs: [][]byte{[]byte("tx"), {}}}
-	f.Add(marshalBlock(b))
+	f.Add(MarshalBlock(b))
 	f.Add([]byte{})
 	f.Add(make([]byte, HeaderSize+4))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		blk, err := unmarshalBlock(data)
+		blk, err := UnmarshalBlock(data)
 		if err != nil {
 			return // rejection is fine; not crashing is the test
 		}
-		re := marshalBlock(blk)
+		re := MarshalBlock(blk)
 		if !bytes.Equal(re, data) {
 			t.Fatalf("accepted record did not round-trip:\n in  %x\n out %x", data, re)
 		}

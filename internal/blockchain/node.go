@@ -31,6 +31,10 @@ const DefaultMaxOrphans = 64
 // getheaders.
 const MaxHeadersPerRequest = 2000
 
+// MaxBlocksPerRequest caps one Blocks response, bounding the memory a
+// single sync request can pin.
+const MaxBlocksPerRequest = 128
+
 // Node is the concurrency-safe consensus layer: a validated block tree
 // (Chain) behind an RWMutex, persisted through a Store, with a bounded
 // orphan pool for out-of-order arrivals and a tip-change event feed for
@@ -42,6 +46,15 @@ type Node struct {
 	store   Store
 	orphans *orphanPool
 	feed    *tipFeed
+
+	// Block-body access for serving peers: every persisted block is
+	// indexed by identity. With a random-access store (BlockReader) the
+	// index maps to append positions and bodies are re-read on demand;
+	// otherwise bodies stay in memory.
+	index    map[Hash]int
+	reader   BlockReader
+	bodies   map[Hash]Block
+	appended int // records in the store = replayed + successful appends
 
 	replaying bool // true only inside OpenNode's store replay
 	replayed  int
@@ -80,12 +93,20 @@ func OpenNode(cfg NodeConfig) (*Node, error) {
 		store:   store,
 		orphans: newOrphanPool(maxOrphans),
 		feed:    newTipFeed(),
+		index:   make(map[Hash]int),
+	}
+	if r, ok := store.(BlockReader); ok {
+		n.reader = r
+	} else {
+		n.bodies = make(map[Hash]Block)
 	}
 	n.replaying = true
 	err = store.Load(func(b Block) error {
-		if _, err := chain.AddBlock(b); err != nil {
+		id, err := chain.AddBlock(b)
+		if err != nil {
 			return fmt.Errorf("blockchain: replaying block log at height %d: %w", chain.Height()+1, err)
 		}
+		n.recordBody(id, b)
 		n.replayed++
 		return nil
 	})
@@ -137,6 +158,7 @@ func (n *Node) AddBlock(b Block) (Hash, error) {
 	}
 	perr := n.persist(b)
 	if perr == nil {
+		n.recordBody(id, b)
 		n.connectOrphans(id)
 	}
 
@@ -167,6 +189,19 @@ func (n *Node) persist(b Block) error {
 	return nil
 }
 
+// recordBody indexes a block that has just been persisted (or replayed)
+// so BlockByHash can find it again. Caller holds n.mu; the append index
+// mirrors the store's record order exactly because both are driven by
+// the same serialized sequence of persists.
+func (n *Node) recordBody(id Hash, b Block) {
+	if n.reader != nil {
+		n.index[id] = n.appended
+	} else {
+		n.bodies[id] = b
+	}
+	n.appended++
+}
+
 // connectOrphans walks the orphan pool connecting every parked block
 // whose ancestry just became complete. Orphans that fail validation
 // once their parent is known are dropped; a persist failure stops the
@@ -185,6 +220,7 @@ func (n *Node) connectOrphans(parent Hash) {
 			if n.persist(b) != nil {
 				return
 			}
+			n.recordBody(cid, b)
 			queue = append(queue, cid)
 		}
 	}
@@ -230,12 +266,35 @@ func (n *Node) Template(now uint64, merkle func(height int, time uint64) Hash) (
 	return h, height, nil
 }
 
+// AnnotatedHeader pairs a best-chain header with its block identity, so
+// sync peers can request the body by hash without re-hashing the header
+// themselves (the PoW digest costs a full hash evaluation; the receiver
+// re-validates it anyway when the body arrives).
+type AnnotatedHeader struct {
+	ID     Hash
+	Header Header
+}
+
 // Headers returns up to max best-chain headers after the fork point the
-// locator describes — the seam node-to-node header sync will use. The
+// locator describes — the seam node-to-node header sync drives. The
 // locator is a list of block IDs, newest first; the first one that is
 // known and on the best chain anchors the response (genesis if none
 // match). max is clamped to MaxHeadersPerRequest.
 func (n *Node) Headers(locator []Hash, max int) []Header {
+	page := n.HeadersWithIDs(locator, max)
+	if page == nil {
+		return nil
+	}
+	out := make([]Header, len(page))
+	for i, ah := range page {
+		out[i] = ah.Header
+	}
+	return out
+}
+
+// HeadersWithIDs is Headers plus each header's block identity — the
+// response shape the p2p getheaders handler serves.
+func (n *Node) HeadersWithIDs(locator []Hash, max int) []AnnotatedHeader {
 	if max <= 0 || max > MaxHeadersPerRequest {
 		max = MaxHeadersPerRequest
 	}
@@ -260,11 +319,69 @@ func (n *Node) Headers(locator []Hash, max int) []Header {
 	if count <= 0 {
 		return nil
 	}
-	out := make([]Header, count)
+	out := make([]AnnotatedHeader, count)
 	nd := ancestorAt(tip, start.height+count)
 	for i := count - 1; i >= 0; i-- {
-		out[i] = nd.header
+		out[i] = AnnotatedHeader{ID: nd.id, Header: nd.header}
 		nd = nd.parent
+	}
+	return out
+}
+
+// HasBlock reports whether the block is connected in the tree (orphans
+// do not count).
+func (n *Node) HasBlock(id Hash) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	_, ok := n.chain.nodes[id]
+	return ok
+}
+
+// BlockByHash returns the full block with the given identity, reading
+// the body back through the store. Only persisted blocks are served:
+// the genesis block (which has no body) and blocks accepted after a
+// store failure report false.
+func (n *Node) BlockByHash(id Hash) (Block, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.blockByHashLocked(id)
+}
+
+// blockByHashLocked serves one body under an already-held read lock.
+func (n *Node) blockByHashLocked(id Hash) (Block, bool) {
+	if n.reader == nil {
+		b, ok := n.bodies[id]
+		return b, ok
+	}
+	idx, ok := n.index[id]
+	if !ok {
+		return Block{}, false
+	}
+	b, err := n.reader.BlockAt(idx)
+	if err != nil {
+		return Block{}, false
+	}
+	return b, true
+}
+
+// Blocks returns the requested full blocks, in request order, skipping
+// unknown hashes. max bounds the response (clamped to
+// MaxBlocksPerRequest) — the getblocks handler's defense against a peer
+// requesting the whole chain in one message.
+func (n *Node) Blocks(hashes []Hash, max int) []Block {
+	if max <= 0 || max > MaxBlocksPerRequest {
+		max = MaxBlocksPerRequest
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var out []Block
+	for _, id := range hashes {
+		if len(out) >= max {
+			break
+		}
+		if b, ok := n.blockByHashLocked(id); ok {
+			out = append(out, b)
+		}
 	}
 	return out
 }

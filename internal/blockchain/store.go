@@ -22,6 +22,21 @@ type Store interface {
 	Close() error
 }
 
+// BlockReader is optionally implemented by stores that can random-access
+// their records by append index. The Node uses it to serve full blocks
+// to syncing peers (BlockByHash/Blocks) without holding every body in
+// memory; a store without it costs the node an in-memory body cache.
+// Like Store, implementations are read under the Node's lock — but
+// BlockAt may be called from concurrent read-snapshots, so it must be
+// safe for concurrent use with itself (both in-repo stores are: a slice
+// read and a pread).
+type BlockReader interface {
+	// BlockAt returns the index-th appended block (replay order). The
+	// index is dense: Load replays blocks 0..n-1 and the next Append is
+	// block n.
+	BlockAt(index int) (Block, error)
+}
+
 // MemStore is the trivial Store: an in-memory slice. A node backed by
 // it behaves exactly like the pre-persistence Chain — state dies with
 // the process — which keeps tests and benchmarks free of filesystem
@@ -47,6 +62,14 @@ func (s *MemStore) Load(fn func(Block) error) error {
 func (s *MemStore) Append(b Block) error {
 	s.blocks = append(s.blocks, b)
 	return nil
+}
+
+// BlockAt returns the index-th retained block.
+func (s *MemStore) BlockAt(index int) (Block, error) {
+	if index < 0 || index >= len(s.blocks) {
+		return Block{}, fmt.Errorf("blockchain: block index %d out of range (%d stored)", index, len(s.blocks))
+	}
+	return s.blocks[index], nil
 }
 
 // Close is a no-op.
@@ -89,9 +112,9 @@ func storableBlockErr(b Block) error {
 	return nil
 }
 
-// marshalBlock encodes a block as header || u32 txcount || (u32 len ||
+// MarshalBlock encodes a block as header || u32 txcount || (u32 len ||
 // bytes)* in little-endian, the payload format of store records.
-func marshalBlock(b Block) []byte {
+func MarshalBlock(b Block) []byte {
 	size := HeaderSize + 4
 	for _, tx := range b.Txs {
 		size += 4 + len(tx)
@@ -109,8 +132,8 @@ func marshalBlock(b Block) []byte {
 // errBadBlockRecord reports a structurally invalid stored block.
 var errBadBlockRecord = fmt.Errorf("blockchain: malformed block record")
 
-// unmarshalBlock decodes a marshalBlock payload.
-func unmarshalBlock(data []byte) (Block, error) {
+// UnmarshalBlock decodes a MarshalBlock payload.
+func UnmarshalBlock(data []byte) (Block, error) {
 	var b Block
 	if len(data) < HeaderSize+4 {
 		return b, fmt.Errorf("%w: %d bytes", errBadBlockRecord, len(data))

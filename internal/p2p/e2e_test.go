@@ -1,0 +1,92 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+
+	"hashcore/internal/blockchain"
+)
+
+// TestThreeNodePartitionHealConverge is the network-level acceptance
+// test: three nodes start partitioned (no connections), two of them
+// mine divergent chains — 3 blocks on A, 5 heavier blocks on B, nothing
+// on C — and then the partition heals into a chain topology
+// (C → A → B) over real TCP. Every node must converge on B's heavier
+// tip; A, which mined the losing branch, must observe the switch as a
+// reorg (TipEvent{Reorg: true}); and a block mined after the heal must
+// propagate to all three hops.
+func TestThreeNodePartitionHealConverge(t *testing.T) {
+	a, b, c := newNode(t), newNode(t), newNode(t)
+
+	// A's reorg observer must outlive the whole scenario.
+	events, cancel := a.Subscribe(64)
+	defer cancel()
+	sawReorg := make(chan blockchain.TipEvent, 1)
+	go func() {
+		for ev := range events {
+			if ev.Reorg {
+				select {
+				case sawReorg <- ev:
+				default:
+				}
+			}
+		}
+	}()
+
+	// Partition: mine divergent tips with no network between them.
+	mineBlocks(t, a, 3, 'a')
+	mineBlocks(t, b, 5, 'b')
+	if a.TipID() == b.TipID() {
+		t.Fatal("divergent chains collided")
+	}
+
+	ma := newManager(t, a)
+	mb := newManager(t, b)
+	mc := newManager(t, c)
+
+	// Heal into a chain: C dials A, A dials B. C can only learn of B's
+	// chain through A, so convergence exercises multi-hop relay.
+	ma.Connect(mb.Addr())
+	mc.Connect(ma.Addr())
+
+	want := b.TipID()
+	waitFor(t, "A to adopt B's heavier tip", func() bool { return a.TipID() == want })
+	waitFor(t, "C to adopt B's heavier tip", func() bool { return c.TipID() == want })
+	if a.Height() != 5 || c.Height() != 5 {
+		t.Fatalf("heights after heal: a=%d c=%d, want 5", a.Height(), c.Height())
+	}
+
+	// The losing miner experienced the switch as a reorg.
+	select {
+	case ev := <-sawReorg:
+		// The switch happens the moment B's branch first out-works A's
+		// (at B's 4th block when bodies arrive in small batches), so the
+		// first reorg event may fire one block before B's final tip.
+		if !b.HasBlock(ev.NewTip) {
+			t.Fatalf("reorg event tip %x… is not on B's chain", ev.NewTip[:8])
+		}
+		if ev.Height < 4 {
+			t.Fatalf("reorg event height = %d, want >= 4", ev.Height)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("A never emitted TipEvent{Reorg: true}")
+	}
+
+	// B never reorged (its branch won) and serves the full chain.
+	for _, node := range []*blockchain.Node{a, b, c} {
+		if got, ok := node.BlockByHash(want); !ok || len(got.Txs) != 1 {
+			t.Fatalf("a node cannot serve the converged tip (ok=%v)", ok)
+		}
+	}
+
+	// Post-heal propagation: a block mined on the far end of the chain
+	// topology must reach every node (C → A via session, A → B via
+	// announce relay).
+	mineBlocks(t, c, 1, 'c')
+	next := c.TipID()
+	waitFor(t, "post-heal block to reach A", func() bool { return a.TipID() == next })
+	waitFor(t, "post-heal block to reach B", func() bool { return b.TipID() == next })
+	if b.Height() != 6 {
+		t.Fatalf("final height = %d, want 6", b.Height())
+	}
+}

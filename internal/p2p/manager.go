@@ -1,0 +1,402 @@
+package p2p
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"hashcore/internal/blockchain"
+	"hashcore/internal/wire"
+)
+
+// Config parameterizes a peer manager. Zero values select the
+// documented defaults.
+type Config struct {
+	// Node is the consensus node this manager syncs and serves. Required.
+	Node *blockchain.Node
+	// Network names the network in handshakes; peers on a different
+	// network (or a different genesis) are refused. Default "hashcore".
+	Network string
+	// Agent is the free-form version string sent in handshakes.
+	// Default "hcp2p/1".
+	Agent string
+	// ListenAddr accepts inbound peers when non-empty (use port 0 to let
+	// the OS pick; see Addr).
+	ListenAddr string
+	// MaxPeers bounds concurrent sessions (inbound + outbound).
+	// Default 16.
+	MaxPeers int
+	// PingInterval is the keepalive period. Default wire's 15s; negative
+	// disables (tests).
+	PingInterval time.Duration
+	// SyncTimeout abandons an unanswered sync request and restarts the
+	// peer's sync from scratch. Default 30s.
+	SyncTimeout time.Duration
+	// HeadersPerPage bounds one requested header page. Default (and
+	// cap) MaxHeadersPerMsg.
+	HeadersPerPage int
+	// BlocksPerBatch bounds one body download batch — the sync engine's
+	// in-flight window. Default (and cap) MaxBlocksPerMsg.
+	BlocksPerBatch int
+	// WriteTimeout bounds one protocol write. Default 10s.
+	WriteTimeout time.Duration
+	// DialTimeout bounds one outbound TCP dial. Default 10s.
+	DialTimeout time.Duration
+	// ReconnectWait and ReconnectMax shape the outbound dialer's
+	// exponential backoff. Defaults 1s / 30s.
+	ReconnectWait time.Duration
+	ReconnectMax  time.Duration
+	// Logf receives manager events; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Node == nil {
+		return errors.New("p2p: config needs a node")
+	}
+	if c.Network == "" {
+		c.Network = "hashcore"
+	}
+	if c.Agent == "" {
+		c.Agent = "hcp2p/1"
+	}
+	if c.MaxPeers < 1 {
+		c.MaxPeers = 16
+	}
+	if c.SyncTimeout <= 0 {
+		c.SyncTimeout = 30 * time.Second
+	}
+	if c.HeadersPerPage < 1 || c.HeadersPerPage > MaxHeadersPerMsg {
+		c.HeadersPerPage = MaxHeadersPerMsg
+	}
+	if c.BlocksPerBatch < 1 || c.BlocksPerBatch > MaxBlocksPerMsg {
+		c.BlocksPerBatch = MaxBlocksPerMsg
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 10 * time.Second
+	}
+	if c.ReconnectWait <= 0 {
+		c.ReconnectWait = time.Second
+	}
+	if c.ReconnectMax <= 0 {
+		c.ReconnectMax = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return nil
+}
+
+// Manager owns a node's peer set: it accepts inbound sessions, keeps
+// persistent outbound sessions alive with reconnect backoff, announces
+// every tip change to all peers, and runs one sync engine per peer.
+// Create with New, start with Start, stop with Close.
+type Manager struct {
+	cfg     Config
+	node    *blockchain.Node
+	genesis string // hex, pinned in handshakes
+
+	mu      sync.Mutex
+	ln      net.Listener
+	peers   map[*peer]struct{}
+	started bool
+	closed  bool
+
+	cancelTips func()
+	quit       chan struct{}
+	wg         sync.WaitGroup
+}
+
+// StartNetwork is the command-line bring-up the daemons share: build a
+// manager on node, start it, and keep a persistent session to every
+// address in the comma-separated connect list.
+func StartNetwork(node *blockchain.Node, network, agent, listen, connectCSV string) (*Manager, error) {
+	m, err := New(Config{
+		Node:       node,
+		Network:    network,
+		Agent:      agent,
+		ListenAddr: listen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Start(); err != nil {
+		return nil, err
+	}
+	for _, addr := range strings.Split(connectCSV, ",") {
+		if addr = strings.TrimSpace(addr); addr != "" {
+			m.Connect(addr)
+		}
+	}
+	return m, nil
+}
+
+// New assembles a manager. Start must be called to begin serving.
+func New(cfg Config) (*Manager, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	return &Manager{
+		cfg:     cfg,
+		node:    cfg.Node,
+		genesis: hashToHex(cfg.Node.GenesisID()),
+		peers:   make(map[*peer]struct{}),
+		quit:    make(chan struct{}),
+	}, nil
+}
+
+// Start binds the listener (when configured) and starts the tip
+// announcer. It returns once the listener is bound; use Addr for the
+// resolved address.
+func (m *Manager) Start() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return errors.New("p2p: manager already started")
+	}
+	if m.closed {
+		return errors.New("p2p: manager closed")
+	}
+	if m.cfg.ListenAddr != "" {
+		ln, err := net.Listen("tcp", m.cfg.ListenAddr)
+		if err != nil {
+			return err
+		}
+		m.ln = ln
+		m.wg.Add(1)
+		go m.acceptLoop(ln)
+		m.cfg.Logf("p2p: listening on %s (network %q, genesis %s…)", ln.Addr(), m.cfg.Network, m.genesis[:8])
+	}
+	events, cancel := m.node.Subscribe(16)
+	m.cancelTips = cancel
+	m.wg.Add(1)
+	go m.announceLoop(events)
+	m.started = true
+	return nil
+}
+
+// Addr returns the bound listen address ("" when not listening or
+// before Start).
+func (m *Manager) Addr() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ln == nil {
+		return ""
+	}
+	return m.ln.Addr().String()
+}
+
+// PeerCount returns the number of live, handshaken sessions.
+func (m *Manager) PeerCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.peers)
+}
+
+// Connect maintains a persistent outbound session to addr: dial,
+// handshake, sync; on any failure, re-dial with exponential backoff
+// until the manager closes. It returns immediately.
+func (m *Manager) Connect(addr string) {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		backoff := wire.NewBackoff(m.cfg.ReconnectWait, m.cfg.ReconnectMax)
+		for {
+			select {
+			case <-m.quit:
+				return
+			default:
+			}
+			nc, err := net.DialTimeout("tcp", addr, m.cfg.DialTimeout)
+			if err == nil {
+				backoff.Reset()
+				if err := m.runPeer(nc, addr); err != nil {
+					m.cfg.Logf("p2p: session with %s ended: %v", addr, err)
+				}
+			} else {
+				m.cfg.Logf("p2p: dialing %s: %v", addr, err)
+			}
+			select {
+			case <-m.quit:
+				return
+			case <-time.After(backoff.Next()):
+			}
+		}
+	}()
+}
+
+// acceptLoop admits inbound sessions until the listener closes.
+func (m *Manager) acceptLoop(ln net.Listener) {
+	defer m.wg.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-m.quit:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			m.cfg.Logf("p2p: accept: %v", err)
+			select {
+			case <-m.quit:
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+			continue
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			if err := m.runPeer(nc, nc.RemoteAddr().String()); err != nil {
+				m.cfg.Logf("p2p: inbound session from %s ended: %v", nc.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// runPeer drives one session on nc: handshake, validation, registration,
+// initial sync kick, dispatch loop. It blocks until the session ends and
+// always closes nc.
+func (m *Manager) runPeer(nc net.Conn, name string) error {
+	wp := wire.NewPeer(nc, wire.PeerConfig{
+		Hello: wire.Hello{
+			Network: m.cfg.Network,
+			Genesis: m.genesis,
+			Agent:   m.cfg.Agent,
+			Height:  m.node.Height(),
+		},
+		Conn: wire.ConnConfig{
+			MaxLine:      MaxLineBytes,
+			WriteTimeout: m.cfg.WriteTimeout,
+		},
+		PingInterval: m.cfg.PingInterval,
+	})
+	remote, err := wp.Handshake()
+	if err != nil {
+		wp.Close()
+		return err
+	}
+	if remote.Network != m.cfg.Network || remote.Genesis != m.genesis {
+		wp.Close()
+		return fmt.Errorf("p2p: peer %s is on network %q genesis %.8s…, want %q %.8s…",
+			name, remote.Network, remote.Genesis, m.cfg.Network, m.genesis)
+	}
+
+	p := newPeer(m, wp, name)
+	if err := m.addPeer(p); err != nil {
+		wp.Close()
+		return err
+	}
+	defer m.removePeer(p)
+	m.cfg.Logf("p2p: peer %s connected (agent %q, height %d)", name, remote.Agent, remote.Height)
+
+	// Kick off sync immediately: the remote may be ahead of us right
+	// now, and if it is behind, the empty page costs one round trip.
+	p.triggerSync()
+	return wp.Run(p.handle)
+}
+
+func (m *Manager) addPeer(p *peer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("p2p: manager closed")
+	}
+	if len(m.peers) >= m.cfg.MaxPeers {
+		return fmt.Errorf("p2p: refusing peer %s: at MaxPeers=%d", p.name, m.cfg.MaxPeers)
+	}
+	m.peers[p] = struct{}{}
+	return nil
+}
+
+func (m *Manager) removePeer(p *peer) {
+	m.mu.Lock()
+	delete(m.peers, p)
+	m.mu.Unlock()
+	p.shutdown()
+}
+
+// snapshotPeers returns the live peer set.
+func (m *Manager) snapshotPeers() []*peer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*peer, 0, len(m.peers))
+	for p := range m.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+// announceLoop pushes every tip change to every peer. Peers that
+// already have the block ignore the inv; peers that don't start a sync
+// round — this is how blocks (and reorgs, which are just heavier
+// branches) propagate across the network.
+func (m *Manager) announceLoop(events <-chan blockchain.TipEvent) {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.quit:
+			return
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			if ev.Reorg {
+				m.cfg.Logf("p2p: local reorg to %x… at height %d — announcing", ev.NewTip[:8], ev.Height)
+			}
+			inv := InvMsg{Tip: hashToHex(ev.NewTip), Height: ev.Height}
+			for _, p := range m.snapshotPeers() {
+				p.sendInv(inv)
+			}
+		}
+	}
+}
+
+// Close stops the listener, the dialers and every session, and waits
+// for all manager goroutines (bounded by ctx). Idempotent.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	close(m.quit)
+	if m.ln != nil {
+		m.ln.Close()
+	}
+	if m.cancelTips != nil {
+		m.cancelTips()
+	}
+	peers := make([]*peer, 0, len(m.peers))
+	for p := range m.peers {
+		peers = append(peers, p)
+	}
+	m.mu.Unlock()
+	for _, p := range peers {
+		p.wp.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

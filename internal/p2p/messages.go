@@ -1,0 +1,133 @@
+// Package p2p is the peer-to-peer block-sync layer: a peer manager
+// (listen + persistent outbound dials with reconnect backoff) and a
+// header-first sync engine that keeps every node's chain converged on
+// the network's heaviest tip.
+//
+// The protocol rides the shared wire layer (NDJSON envelopes over TCP,
+// wire.Peer lifecycle: hello handshake, ping keepalive, graceful
+// close). Sync follows the Bitcoin headers-first shape against the
+// Node's locator seam:
+//
+//	inv        → a tip announcement (pushed on every TipEvent)
+//	getheaders → locator + max, answered with a page of
+//	headers    → (id, header) pairs after the fork point, best chain only
+//	getblocks  → explicit body requests by block id, answered with
+//	blocks     → full serialized blocks
+//
+// A peer that learns of an unknown tip walks header pages (each page
+// anchored by the previous page's last id), queues the ids it lacks,
+// and downloads bodies in bounded batches, feeding them through
+// Node.AddBlock — whose orphan pool and total-work fork choice already
+// handle out-of-order arrival and reorgs. A reorg on one node therefore
+// propagates exactly like fresh blocks: the heavier branch is announced,
+// fetched, and wins fork choice on every peer.
+package p2p
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"hashcore/internal/blockchain"
+)
+
+// Protocol message types, carried as wire.Envelope type tags alongside
+// the wire layer's lifecycle types (hello, ping, pong, close).
+const (
+	// TypeInv announces the sender's best tip (push, unsolicited).
+	TypeInv = "inv"
+	// TypeGetHeaders requests a page of best-chain headers after the
+	// locator's fork point.
+	TypeGetHeaders = "getheaders"
+	// TypeHeaders answers getheaders with (id, header) pairs.
+	TypeHeaders = "headers"
+	// TypeGetBlocks requests full blocks by id.
+	TypeGetBlocks = "getblocks"
+	// TypeBlocks answers getblocks with serialized blocks.
+	TypeBlocks = "blocks"
+)
+
+// Protocol bounds. One NDJSON line carries one message, so the
+// per-message item caps and the line limit are chosen together: 512
+// headers ≈ 100 KiB of hex, and a blocks response stops filling at
+// MaxBlocksBytes of raw payload — except that the first block is always
+// included, so MaxLineBytes must fit the largest consensus-admissible
+// block (the store bound maxRecordBytes, 64 MiB) hex-encoded with JSON
+// overhead, or one giant block could wedge sync forever. Memory
+// exposure stays proportional to bytes a peer actually sends (the read
+// buffer grows on demand), the same as any block transfer.
+const (
+	// MaxLineBytes is the p2p framing limit: 256 MiB covers a 64 MiB
+	// block at 2x hex expansion with room for framing.
+	MaxLineBytes = 1 << 28
+	// MaxHeadersPerMsg caps one headers page.
+	MaxHeadersPerMsg = 512
+	// MaxBlocksPerMsg caps one blocks response (and one getblocks
+	// request).
+	MaxBlocksPerMsg = 16
+	// MaxBlocksBytes soft-caps the raw payload of one blocks response;
+	// the tail beyond it is truncated and re-requested by the peer.
+	MaxBlocksBytes = 1 << 22
+	// MaxLocatorLen caps a received locator (a well-formed locator is
+	// O(log height); anything bigger is a peer wasting our time).
+	MaxLocatorLen = 128
+)
+
+// InvMsg is a tip announcement.
+type InvMsg struct {
+	// Tip is the hex block id of the sender's best block.
+	Tip string `json:"tip"`
+	// Height is the tip's height (advisory; fork choice is by work).
+	Height int `json:"height"`
+}
+
+// GetHeadersMsg requests best-chain headers after the locator's fork
+// point.
+type GetHeadersMsg struct {
+	// Locator is a list of hex block ids, newest first (Node.Locator
+	// shape, optionally prefixed with the previous page's last id).
+	Locator []string `json:"locator"`
+	// Max bounds the response page (clamped server-side).
+	Max int `json:"max"`
+}
+
+// HeaderRef is one entry of a headers page: the serialized header plus
+// its block id, so the requester can fetch the body without paying a
+// hash evaluation per header (the id is re-verified when the body is
+// validated).
+type HeaderRef struct {
+	ID     string `json:"id"`
+	Header string `json:"header"`
+}
+
+// HeadersMsg answers getheaders.
+type HeadersMsg struct {
+	Headers []HeaderRef `json:"headers"`
+}
+
+// GetBlocksMsg requests full blocks by hex id.
+type GetBlocksMsg struct {
+	Hashes []string `json:"hashes"`
+}
+
+// BlocksMsg answers getblocks with hex-serialized blocks
+// (blockchain.MarshalBlock payloads).
+type BlocksMsg struct {
+	Blocks []string `json:"blocks"`
+}
+
+// hashToHex encodes a block id for the wire.
+func hashToHex(h blockchain.Hash) string { return hex.EncodeToString(h[:]) }
+
+// hexToHash decodes a wire block id.
+func hexToHash(s string) (blockchain.Hash, error) {
+	var h blockchain.Hash
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return h, fmt.Errorf("p2p: bad hash %q: %w", s, err)
+	}
+	if len(raw) != blockchain.HashSize {
+		return h, fmt.Errorf("p2p: bad hash length %d", len(raw))
+	}
+	copy(h[:], raw)
+	return h, nil
+}

@@ -1,11 +1,11 @@
 package pool
 
 import (
-	"bufio"
 	"context"
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -13,6 +13,7 @@ import (
 
 	"hashcore"
 	"hashcore/internal/pow"
+	"hashcore/internal/wire"
 )
 
 // RangeMiner searches a nonce window for a digest meeting a target —
@@ -36,21 +37,36 @@ type ClientConfig struct {
 	Workers int
 	// DialTimeout bounds the TCP dial. Default 10s.
 	DialTimeout time.Duration
+	// Reconnect makes Run survive transport failures: instead of
+	// returning the error it re-dials with exponential backoff and
+	// resubscribes, so a miner outlives a pool daemon restart. Off by
+	// default (Run reports the first transport failure, the historical
+	// behavior).
+	Reconnect bool
+	// ReconnectWait is the initial re-dial backoff. Default 1s.
+	ReconnectWait time.Duration
+	// ReconnectMax caps the re-dial backoff. Default 30s.
+	ReconnectMax time.Duration
 	// OnJob, if set, observes every job notification (before mining
 	// starts on it).
 	OnJob func(JobNotify)
 	// OnResult, if set, observes every share verdict.
 	OnResult func(ShareResult)
+	// OnDisconnect, if set, observes every transport failure the
+	// reconnect loop is about to retry (never called when Reconnect is
+	// off).
+	OnDisconnect func(err error)
 }
 
 // ClientStats counts a client's protocol activity. Read via
 // Client.Stats.
 type ClientStats struct {
-	Jobs      uint64 `json:"jobs"`
-	Submitted uint64 `json:"submitted"`
-	Accepted  uint64 `json:"accepted"`
-	Blocks    uint64 `json:"blocks"`
-	Rejected  uint64 `json:"rejected"`
+	Jobs       uint64 `json:"jobs"`
+	Submitted  uint64 `json:"submitted"`
+	Accepted   uint64 `json:"accepted"`
+	Blocks     uint64 `json:"blocks"`
+	Rejected   uint64 `json:"rejected"`
+	Reconnects uint64 `json:"reconnects"`
 }
 
 // Client is a remote-miner pool client: it subscribes to a pool server,
@@ -59,10 +75,11 @@ type ClientStats struct {
 type Client struct {
 	cfg   ClientConfig
 	miner RangeMiner
-	conn  net.Conn
-	wmu   sync.Mutex
 
-	jobs, submitted, accepted, blocks, rejected atomic.Uint64
+	mu   sync.Mutex
+	conn *wire.Conn // current connection; replaced across reconnects
+
+	jobs, submitted, accepted, blocks, rejected, reconnects atomic.Uint64
 }
 
 // Dial connects to the pool server. Run must be called to start the
@@ -77,37 +94,91 @@ func Dial(cfg ClientConfig, miner RangeMiner) (*Client, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 10 * time.Second
 	}
+	if cfg.ReconnectWait <= 0 {
+		cfg.ReconnectWait = time.Second
+	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = 30 * time.Second
+	}
 	conn, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("pool: dialing %s: %w", cfg.Addr, err)
 	}
-	return &Client{cfg: cfg, miner: miner, conn: conn}, nil
+	return &Client{cfg: cfg, miner: miner, conn: wire.NewConn(conn, connConfig(0))}, nil
 }
 
 // Stats returns a snapshot of the client's counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
-		Jobs:      c.jobs.Load(),
-		Submitted: c.submitted.Load(),
-		Accepted:  c.accepted.Load(),
-		Blocks:    c.blocks.Load(),
-		Rejected:  c.rejected.Load(),
+		Jobs:       c.jobs.Load(),
+		Submitted:  c.submitted.Load(),
+		Accepted:   c.accepted.Load(),
+		Blocks:     c.blocks.Load(),
+		Rejected:   c.rejected.Load(),
+		Reconnects: c.reconnects.Load(),
 	}
 }
 
-func (c *Client) send(env *Envelope) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	return writeMsg(c.conn, env)
+// current returns the live connection.
+func (c *Client) current() *wire.Conn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn
 }
 
-// Run subscribes and mines until ctx ends or the connection fails. It
-// always closes the connection before returning; the error is nil only
-// for a context-initiated exit.
+// Run subscribes and mines until ctx ends or the connection fails
+// unrecoverably. Without Reconnect it returns the first transport
+// failure (nil only for a context-initiated exit); with Reconnect it
+// re-dials with exponential backoff and resubscribes, returning only
+// when ctx ends. The current connection is always closed before
+// returning.
 func (c *Client) Run(ctx context.Context) error {
-	defer c.conn.Close()
+	conn := c.current()
+	for {
+		err := c.runConn(ctx, conn)
+		conn.Close()
+		if ctx.Err() != nil {
+			return nil
+		}
+		if !c.cfg.Reconnect {
+			return err
+		}
+		if c.cfg.OnDisconnect != nil {
+			c.cfg.OnDisconnect(err)
+		}
+		conn, err = c.redial(ctx)
+		if err != nil {
+			return nil // only reachable via ctx cancellation
+		}
+		c.reconnects.Add(1)
+	}
+}
 
-	if err := c.send(&Envelope{
+// redial re-establishes the connection with exponential backoff, giving
+// up only when ctx ends.
+func (c *Client) redial(ctx context.Context) (*wire.Conn, error) {
+	backoff := wire.NewBackoff(c.cfg.ReconnectWait, c.cfg.ReconnectMax)
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff.Next()):
+		}
+		nc, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+		if err == nil {
+			conn := wire.NewConn(nc, connConfig(0))
+			c.mu.Lock()
+			c.conn = conn
+			c.mu.Unlock()
+			return conn, nil
+		}
+	}
+}
+
+// runConn drives one subscription session over conn: subscribe, then
+// mine every notified job until ctx ends or the transport fails.
+func (c *Client) runConn(ctx context.Context, conn *wire.Conn) error {
+	if err := conn.WriteJSON(&Envelope{
 		Type:  TypeSubscribe,
 		Miner: c.cfg.MinerName,
 		Agent: c.cfg.Agent,
@@ -117,7 +188,7 @@ func (c *Client) Run(ctx context.Context) error {
 
 	jobCh := make(chan JobNotify, 8)
 	readErr := make(chan error, 1)
-	go c.readLoop(jobCh, readErr)
+	go c.readLoop(conn, jobCh, readErr)
 
 	// Mining supervisor: one job mined at a time, the latest notify
 	// always wins, and a clean notify (or any new job) cancels in-flight
@@ -138,7 +209,7 @@ func (c *Client) Run(ctx context.Context) error {
 	for {
 		select {
 		case <-ctx.Done():
-			c.conn.Close() // unblocks readLoop reads
+			conn.Close() // unblocks readLoop reads
 			stopMining()
 			// Keep draining jobCh so a readLoop blocked mid-send can
 			// reach its exit path.
@@ -171,7 +242,7 @@ func (c *Client) Run(ctx context.Context) error {
 			mineDone = make(chan struct{})
 			go func(j JobNotify) {
 				defer close(mineDone)
-				c.mineJob(mctx, j)
+				c.mineJob(mctx, conn, j)
 			}(job)
 		}
 	}
@@ -180,13 +251,16 @@ func (c *Client) Run(ctx context.Context) error {
 // readLoop parses server messages, counts verdicts, and feeds job
 // notifications to the supervisor. It exits (reporting on errCh) on read
 // failure or a protocol error message.
-func (c *Client) readLoop(jobCh chan<- JobNotify, errCh chan<- error) {
-	sc := bufio.NewScanner(c.conn)
-	sc.Buffer(make([]byte, 4096), MaxLineBytes)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+func (c *Client) readLoop(conn *wire.Conn, jobCh chan<- JobNotify, errCh chan<- error) {
+	for {
+		line, err := conn.ReadLine()
+		if err != nil {
+			if err == io.EOF {
+				errCh <- errors.New("pool: server closed connection")
+			} else {
+				errCh <- err
+			}
+			return
 		}
 		env, err := parseMsg(line)
 		if err != nil {
@@ -231,11 +305,6 @@ func (c *Client) readLoop(jobCh chan<- JobNotify, errCh chan<- error) {
 			// Ignore unknown message types for forward compatibility.
 		}
 	}
-	if err := sc.Err(); err != nil {
-		errCh <- err
-		return
-	}
-	errCh <- errors.New("pool: server closed connection")
 }
 
 // mineJob sweeps the job's assigned nonce window, submitting every share
@@ -244,7 +313,7 @@ func (c *Client) readLoop(jobCh chan<- JobNotify, errCh chan<- error) {
 // NonceEnd); ranges are advisory (the server dedupes and verifies
 // regardless), so worker-stride overshoot at the window edge is
 // harmless.
-func (c *Client) mineJob(ctx context.Context, job JobNotify) {
+func (c *Client) mineJob(ctx context.Context, conn *wire.Conn, job JobNotify) {
 	prefix, err := hex.DecodeString(job.Prefix)
 	if err != nil {
 		return
@@ -262,7 +331,7 @@ func (c *Client) mineJob(ctx context.Context, job JobNotify) {
 			return
 		}
 		c.submitted.Add(1)
-		if err := c.send(&Envelope{Type: TypeSubmit, JobID: job.ID, Nonce: res.Nonce}); err != nil {
+		if err := conn.WriteJSON(&Envelope{Type: TypeSubmit, JobID: job.ID, Nonce: res.Nonce}); err != nil {
 			return
 		}
 		cursor = res.Nonce + 1

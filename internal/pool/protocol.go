@@ -19,6 +19,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
+
+	"hashcore/internal/wire"
 )
 
 // Protocol message types. Every wire message is one JSON object on one
@@ -126,21 +129,28 @@ type Envelope struct {
 }
 
 // MaxLineBytes bounds one protocol line. Headers are ~100 bytes hex, so
-// this is generous; it exists to stop a misbehaving peer from ballooning
-// the read buffer.
-const MaxLineBytes = 1 << 16
+// the wire layer's default is generous; it exists to stop a misbehaving
+// peer from ballooning the read buffer.
+const MaxLineBytes = wire.DefaultMaxLine
 
 // ErrLineTooLong is returned when a peer sends an oversized line.
-var ErrLineTooLong = errors.New("pool: protocol line exceeds limit")
+var ErrLineTooLong = wire.ErrLineTooLong
 
-// writeMsg encodes env as one NDJSON line to w. json.Encoder.Encode
-// appends the newline itself.
+// connConfig is the framing configuration both halves of the pool
+// protocol hand to the shared wire layer.
+func connConfig(writeTimeout time.Duration) wire.ConnConfig {
+	return wire.ConnConfig{MaxLine: MaxLineBytes, WriteTimeout: writeTimeout}
+}
+
+// writeMsg encodes env as one NDJSON line to w — the raw-socket shape
+// tests drive the protocol with. Production paths write through the
+// shared wire.Conn (locked writes, deadlines) instead.
 func writeMsg(w io.Writer, env *Envelope) error {
 	return json.NewEncoder(w).Encode(env)
 }
 
-// readMsg decodes one NDJSON line into an Envelope. The reader must be a
-// line-framed source (see lineReader); a decode error poisons only the
+// parseMsg decodes one NDJSON line into an Envelope. The line comes from
+// the wire layer's framed reader; a decode error poisons only the
 // offending line.
 func parseMsg(line []byte) (Envelope, error) {
 	var env Envelope

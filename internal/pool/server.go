@@ -1,7 +1,6 @@
 package pool
 
 import (
-	"bufio"
 	"context"
 	"encoding/hex"
 	"encoding/json"
@@ -17,6 +16,7 @@ import (
 	"time"
 
 	"hashcore/internal/blockchain"
+	"hashcore/internal/wire"
 )
 
 // Config parameterizes a pool server. Zero values select the documented
@@ -311,7 +311,7 @@ func (s *Server) acceptLoop() {
 		backoff = 0
 		c := &serverConn{
 			s:    s,
-			conn: conn,
+			conn: wire.NewConn(conn, connConfig(s.cfg.WriteTimeout)),
 			id:   s.connSeq.Add(1),
 		}
 		s.mu.Lock()
@@ -465,34 +465,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(reply)
 }
 
-// serverConn is one miner connection.
+// serverConn is one miner connection, riding the shared wire framing.
 type serverConn struct {
 	s    *Server
-	conn net.Conn
+	conn *wire.Conn
 	id   uint64
-
-	wmu sync.Mutex // serializes writes (results race notifies)
 
 	subMu      sync.Mutex
 	subscribed bool
 	miner      string
-
-	closeOnce sync.Once
 }
 
 func (c *serverConn) close() {
-	c.closeOnce.Do(func() { c.conn.Close() })
+	_ = c.conn.Close()
 }
 
-// send writes one envelope under the write lock with the configured
-// deadline. On write failure the connection is closed: a peer that cannot
-// take a notify in WriteTimeout is better dropped than allowed to stall
-// broadcast fan-out.
+// send writes one envelope; the wire layer serializes writers (results
+// race notifies) and applies the configured deadline. On write failure
+// the connection is closed: a peer that cannot take a notify in
+// WriteTimeout is better dropped than allowed to stall broadcast
+// fan-out.
 func (c *serverConn) send(env *Envelope) {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	_ = c.conn.SetWriteDeadline(time.Now().Add(c.s.cfg.WriteTimeout))
-	if err := writeMsg(c.conn, env); err != nil {
+	if err := c.conn.WriteJSON(env); err != nil {
 		c.close()
 	}
 }
@@ -532,12 +526,11 @@ func (c *serverConn) serve() {
 		c.s.mu.Unlock()
 	}()
 
-	sc := bufio.NewScanner(c.conn)
-	sc.Buffer(make([]byte, 4096), MaxLineBytes)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	for {
+		line, err := c.conn.ReadLine()
+		if err != nil {
+			// EOF, read error or oversized line: the connection is done.
+			return
 		}
 		env, err := parseMsg(line)
 		if err != nil {

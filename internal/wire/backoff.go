@@ -1,0 +1,41 @@
+package wire
+
+import "time"
+
+// Backoff is the exponential retry schedule both reconnecting clients
+// (pool miners, p2p dialers) share: start at Wait, double per failure,
+// cap at Max, reset on success. The zero value is unusable; fill Wait
+// and Max (NewBackoff applies the conventional 1s/30s defaults).
+type Backoff struct {
+	Wait time.Duration
+	Max  time.Duration
+	cur  time.Duration
+}
+
+// NewBackoff returns a schedule with the given bounds, defaulting to
+// 1s initial and 30s cap when non-positive.
+func NewBackoff(wait, max time.Duration) *Backoff {
+	if wait <= 0 {
+		wait = time.Second
+	}
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	return &Backoff{Wait: wait, Max: max}
+}
+
+// Next returns the delay to sleep before the next attempt and advances
+// the schedule.
+func (b *Backoff) Next() time.Duration {
+	if b.cur == 0 {
+		b.cur = b.Wait
+	}
+	d := b.cur
+	if b.cur *= 2; b.cur > b.Max {
+		b.cur = b.Max
+	}
+	return d
+}
+
+// Reset returns the schedule to its initial delay (call on success).
+func (b *Backoff) Reset() { b.cur = 0 }

@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Envelope is the typed message frame for protocols with heterogeneous
+// payloads: a type tag selecting the handler plus the raw payload, which
+// stays undecoded until the handler knows its concrete shape. One
+// envelope is one NDJSON line.
+type Envelope struct {
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// ErrMissingType reports an envelope without a type tag.
+var ErrMissingType = errors.New("wire: message missing type")
+
+// NewEnvelope packs payload (marshalled to JSON) under the given type
+// tag. A nil payload produces an envelope with no data section.
+func NewEnvelope(typ string, payload any) (Envelope, error) {
+	env := Envelope{Type: typ}
+	if payload != nil {
+		data, err := json.Marshal(payload)
+		if err != nil {
+			return Envelope{}, fmt.Errorf("wire: encoding %q payload: %w", typ, err)
+		}
+		env.Data = data
+	}
+	return env, nil
+}
+
+// Decode unmarshals the envelope's payload into v. An envelope with no
+// data section decodes only into a payload type that tolerates empty
+// input, so handlers for data-carrying messages get a hard error rather
+// than a zero value.
+func (e *Envelope) Decode(v any) error {
+	if len(e.Data) == 0 {
+		return fmt.Errorf("wire: %q message has no payload", e.Type)
+	}
+	if err := json.Unmarshal(e.Data, v); err != nil {
+		return &MalformedError{Err: fmt.Errorf("%q payload: %w", e.Type, err)}
+	}
+	return nil
+}
+
+// ParseEnvelope decodes one line into an Envelope, requiring a type tag.
+func ParseEnvelope(line []byte) (Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return Envelope{}, &MalformedError{Err: err}
+	}
+	if env.Type == "" {
+		return Envelope{}, ErrMissingType
+	}
+	return env, nil
+}

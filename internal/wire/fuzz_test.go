@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+	"time"
+	"unicode/utf8"
+)
+
+// FuzzEnvelopeRoundTrip checks that any (type, payload) pair survives
+// pack → one NDJSON line → parse → decode bit-identically, and that the
+// line stays single-line (framing invariant: one message, one "\n").
+func FuzzEnvelopeRoundTrip(f *testing.F) {
+	f.Add("getheaders", []byte(`{"locator":["ab","cd"],"max":64}`))
+	f.Add("inv", []byte(`{"tip":"00ff","height":12}`))
+	f.Add("x", []byte(`"just a string"`))
+	f.Add("deep", []byte(`[[[[1,2],[3]],[]],null,{"a":{"b":{}}}]`))
+	f.Fuzz(func(t *testing.T, typ string, payload []byte) {
+		// JSON strings cannot carry invalid UTF-8 (the encoder
+		// substitutes U+FFFD); protocol type tags are ASCII, so the
+		// round-trip property is only claimed for valid UTF-8.
+		if typ == "" || !utf8.ValidString(typ) || !json.Valid(payload) {
+			t.Skip()
+		}
+		env := Envelope{Type: typ, Data: payload}
+		line, err := json.Marshal(env)
+		if err != nil {
+			t.Skip() // type strings that don't survive JSON encoding
+		}
+		if bytes.ContainsRune(line, '\n') {
+			t.Fatalf("encoded envelope spans lines: %q", line)
+		}
+		got, err := ParseEnvelope(line)
+		if err != nil {
+			t.Fatalf("ParseEnvelope(%q): %v", line, err)
+		}
+		if got.Type != typ {
+			t.Fatalf("type %q -> %q", typ, got.Type)
+		}
+		// Compare payloads structurally: JSON round-trips may reorder
+		// nothing here (RawMessage is preserved verbatim), but guard
+		// against compaction differences anyway.
+		var a, b any
+		if err := json.Unmarshal(payload, &a); err != nil {
+			t.Skip()
+		}
+		if len(got.Data) == 0 {
+			// "null" payloads legally collapse to an absent data section.
+			if string(payload) != "null" {
+				t.Fatalf("payload %q lost", payload)
+			}
+			return
+		}
+		if err := json.Unmarshal(got.Data, &b); err != nil {
+			t.Fatalf("re-decoding payload %q: %v", got.Data, err)
+		}
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		if !bytes.Equal(aj, bj) {
+			t.Fatalf("payload %q -> %q", aj, bj)
+		}
+	})
+}
+
+// FuzzParseEnvelope throws arbitrary bytes at the parser: it must never
+// panic, and must only succeed on lines that carry a type tag.
+func FuzzParseEnvelope(f *testing.F) {
+	f.Add([]byte(`{"type":"ping"}`))
+	f.Add([]byte(`{"data":{}}`))
+	f.Add([]byte(`{{{{`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Fuzz(func(t *testing.T, line []byte) {
+		env, err := ParseEnvelope(line)
+		if err == nil && env.Type == "" {
+			t.Fatal("parse accepted an envelope without a type")
+		}
+	})
+}
+
+// FuzzConnReadLine streams arbitrary bytes (garbage, oversized lines,
+// embedded NULs) through a real framed connection: the reader must
+// never panic and must flag oversized lines with ErrLineTooLong instead
+// of buffering without bound.
+func FuzzConnReadLine(f *testing.F) {
+	f.Add([]byte("{\"type\":\"a\"}\n"), 64)
+	f.Add(bytes.Repeat([]byte{'x'}, 300), 64)
+	f.Add([]byte("\n\n\n"), 16)
+	f.Add(append(bytes.Repeat([]byte{0}, 100), '\n'), 32)
+	f.Fuzz(func(t *testing.T, stream []byte, maxLine int) {
+		if maxLine < 16 || maxLine > 1<<12 {
+			t.Skip()
+		}
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		go func() {
+			a.Write(stream)
+			a.Close()
+		}()
+		c := NewConn(b, ConnConfig{MaxLine: maxLine})
+		b.SetReadDeadline(time.Now().Add(5 * time.Second))
+		for {
+			line, err := c.ReadLine()
+			if err != nil {
+				if errors.Is(err, ErrLineTooLong) {
+					// Correct refusal of an oversized line.
+					return
+				}
+				return // EOF or closed pipe
+			}
+			if len(line) == 0 {
+				t.Fatal("ReadLine returned an empty line")
+			}
+			if len(line) > maxLine {
+				t.Fatalf("ReadLine returned %d bytes past the %d limit", len(line), maxLine)
+			}
+		}
+	})
+}
