@@ -10,6 +10,13 @@
 //	hcchain -listen :9444 [-connect host:9444,host2:9444] [-blocks N]
 //	        [-zero-bits 14] [-network hashcore] [-datadir dir]
 //	        [-fsync-batch N] [-fsync-interval 50ms] [-workers N]
+//	        [-ban-threshold 100] [-ban-duration 10m] [-msg-rate 500]
+//	hcchain -simnet partition [-simnet-nodes 100]
+//
+// -simnet runs one scenario from the adversarial network lab (an
+// in-process simulated network; see internal/simnet/lab) and exits 0
+// on pass: partition, churn, flood, eclipse, orphan-flood,
+// handshake-abuse. "-simnet list" prints the catalog.
 //
 // Without networking flags the original in-process demo runs (mine
 // -blocks blocks, print the chain, exit). With -listen and/or -connect
@@ -38,6 +45,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,6 +55,7 @@ import (
 	"hashcore/internal/p2p"
 	"hashcore/internal/pool"
 	"hashcore/internal/pow"
+	"hashcore/internal/simnet/lab"
 	"hashcore/internal/vm"
 )
 
@@ -61,7 +70,20 @@ func main() {
 	fsyncBatch := flag.Int("fsync-batch", 0, "group-commit: fsync once per N appends (0 = every append)")
 	fsyncInterval := flag.Duration("fsync-interval", 0, "group-commit: flush deadline for a partial batch")
 	workers := flag.Int("workers", 0, "mining parallelism (0 = GOMAXPROCS)")
+	banThreshold := flag.Int("ban-threshold", 0, "misbehavior score that bans a peer host (0 = default 100, negative disables)")
+	banDuration := flag.Duration("ban-duration", 0, "how long a peer ban lasts (0 = default 10m)")
+	msgRate := flag.Float64("msg-rate", 0, "per-peer inbound messages/sec before disconnect (0 = default 500, negative disables)")
+	simnetScenario := flag.String("simnet", "", "run a network-lab scenario instead of a node (see -simnet list)")
+	simnetNodes := flag.Int("simnet-nodes", 0, "cluster size for -simnet (0 = scenario default)")
 	flag.Parse()
+
+	if *simnetScenario != "" {
+		if err := runSimnet(*simnetScenario, *simnetNodes); err != nil {
+			fmt.Fprintln(os.Stderr, "hcchain:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *listen == "" && *connect == "" {
 		// Original standalone demo, unchanged.
@@ -75,10 +97,37 @@ func main() {
 	}
 
 	if err := runDaemon(*blocks, *profileName, *datadir, *listen, *connect, *network,
-		*zeroBits, *fsyncBatch, *fsyncInterval, *workers); err != nil {
+		*zeroBits, *fsyncBatch, *fsyncInterval, *workers,
+		*banThreshold, *banDuration, *msgRate); err != nil {
 		fmt.Fprintln(os.Stderr, "hcchain:", err)
 		os.Exit(1)
 	}
+}
+
+// runSimnet executes one adversarial-lab scenario ("list" prints the
+// catalog) and reports its verdict; a failed scenario is an error so
+// the process exits non-zero.
+func runSimnet(name string, nodes int) error {
+	if name == "list" {
+		for _, n := range lab.Scenarios() {
+			fmt.Printf("%-16s %s\n", n, lab.Describe(n))
+		}
+		return nil
+	}
+	res, err := lab.Run(name, nodes, log.Printf)
+	if err != nil {
+		return err
+	}
+	status := "PASS"
+	if !res.OK {
+		status = "FAIL"
+	}
+	fmt.Printf("simnet %s: %s (%d nodes, %s): %s\n",
+		res.Name, status, res.Nodes, res.Duration.Round(time.Millisecond), res.Detail)
+	if !res.OK {
+		return fmt.Errorf("scenario %s failed", res.Name)
+	}
+	return nil
 }
 
 // openStore opens the persistent block log (nil store when datadir is
@@ -101,7 +150,8 @@ func openStore(datadir string, fsyncBatch int, fsyncInterval time.Duration) (blo
 }
 
 func runDaemon(blocks int, profileName, datadir, listen, connect, network string,
-	zeroBits uint, fsyncBatch int, fsyncInterval time.Duration, workers int) error {
+	zeroBits uint, fsyncBatch int, fsyncInterval time.Duration, workers int,
+	banThreshold int, banDuration time.Duration, msgRate float64) error {
 	h, err := hashcore.New(hashcore.WithProfile(profileName))
 	if err != nil {
 		return err
@@ -131,9 +181,25 @@ func runDaemon(blocks int, profileName, datadir, listen, connect, network string
 			datadir, node.Height(), tip[:8], node.Replayed())
 	}
 
-	mgr, err := p2p.StartNetwork(node, network, "hcchain/1", listen, connect)
+	mgr, err := p2p.New(p2p.Config{
+		Node:         node,
+		Network:      network,
+		Agent:        "hcchain/1",
+		ListenAddr:   listen,
+		BanThreshold: banThreshold,
+		BanDuration:  banDuration,
+		MsgRate:      msgRate,
+	})
 	if err != nil {
 		return err
+	}
+	if err := mgr.Start(); err != nil {
+		return err
+	}
+	for _, addr := range strings.Split(connect, ",") {
+		if addr = strings.TrimSpace(addr); addr != "" {
+			mgr.Connect(addr)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

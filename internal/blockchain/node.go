@@ -21,6 +21,11 @@ type NodeConfig struct {
 	Store Store
 	// MaxOrphans bounds the orphan pool. Default 64.
 	MaxOrphans int
+	// MaxOrphansPerPeer bounds how many parked orphans one delivering
+	// peer (the origin passed to AddBlockFrom) may hold at once, so a
+	// single peer spraying fabricated orphans can only ever evict its
+	// own. Default MaxOrphans/4 (min 1).
+	MaxOrphansPerPeer int
 }
 
 // DefaultMaxOrphans is the orphan-pool bound when NodeConfig leaves it
@@ -91,7 +96,7 @@ func OpenNode(cfg NodeConfig) (*Node, error) {
 	n := &Node{
 		chain:   chain,
 		store:   store,
-		orphans: newOrphanPool(maxOrphans),
+		orphans: newOrphanPool(maxOrphans, cfg.MaxOrphansPerPeer),
 		feed:    newTipFeed(),
 		index:   make(map[Hash]int),
 	}
@@ -138,6 +143,15 @@ func (n *Node) Replayed() int { return n.replayed }
 // stays readable) — both invariants exist so the block log is always an
 // exact replayable prefix of the accepted chain.
 func (n *Node) AddBlock(b Block) (Hash, error) {
+	return n.AddBlockFrom(b, "")
+}
+
+// AddBlockFrom is AddBlock with delivery attribution: origin names the
+// peer the block came from (empty for local submissions). Attribution
+// only matters when the block parks as an orphan — the pool caps each
+// origin's entries and evicts within the flooding origin first, so one
+// peer's orphan spam cannot evict blocks another peer parked.
+func (n *Node) AddBlockFrom(b Block, origin string) (Hash, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.storeErr != nil {
@@ -151,7 +165,7 @@ func (n *Node) AddBlock(b Block) (Hash, error) {
 	id, err := n.chain.AddBlock(b)
 	if err != nil {
 		if errors.Is(err, ErrUnknownParent) {
-			n.orphans.add(b)
+			n.orphans.add(b, origin)
 			return Hash{}, ErrOrphan
 		}
 		return Hash{}, err
@@ -491,4 +505,13 @@ func (n *Node) OrphanCount() int {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	return n.orphans.len()
+}
+
+// OrphanCountFrom returns the number of parked orphans delivered by the
+// given origin — the observability hook flood tests and peer-scoring
+// policies read.
+func (n *Node) OrphanCountFrom(origin string) int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.orphans.countOf(origin)
 }

@@ -7,50 +7,88 @@ import "fmt"
 // ErrUnknownParent so existing errors.Is checks keep working.
 var ErrOrphan = fmt.Errorf("%w (parked as orphan)", ErrUnknownParent)
 
-// orphan is one parked block plus its cheap identity.
+// orphan is one parked block plus its cheap identity and the peer that
+// delivered it.
 type orphan struct {
-	block Block
-	key   Hash // sha256d of the header — NOT the PoW digest
+	block  Block
+	key    Hash   // sha256d of the header — NOT the PoW digest
+	origin string // who sent it ("" for local/unattributed submissions)
 }
 
 // orphanPool parks blocks whose parents have not arrived yet. Orphans
 // are keyed by parent so the arrival of a block can connect its whole
-// parked descendancy at once. The pool is bounded with FIFO eviction:
-// an attacker spraying fake orphans can only evict other orphans, never
-// validated chain state. Blocks here have NOT been PoW-checked (that
-// requires the parent's bits), so identity for dedupe is a cheap
-// sha256d of the header rather than the expensive PoW digest.
+// parked descendancy at once. Blocks here have NOT been PoW-checked
+// (that requires the parent's bits), so identity for dedupe is a cheap
+// sha256d of the header rather than the expensive PoW digest — which
+// also means parking is cheap for an attacker, and the pool's bounds
+// are the only thing standing between an orphan-spraying peer and
+// unbounded memory.
+//
+// Eviction is attributed: every orphan remembers which peer delivered
+// it, each origin is capped at perOrigin entries (its own oldest is
+// evicted first), and when the pool is globally full the oldest orphan
+// of the *largest* origin goes. A flooding peer therefore only ever
+// evicts its own orphans; the honest minority parked by other peers
+// survives the flood.
 type orphanPool struct {
-	max      int
-	byParent map[Hash][]orphan
-	have     map[Hash]struct{} // dedupe by header sha256d
-	order    []Hash            // insertion order of keys, for eviction
+	max       int
+	perOrigin int
+	byParent  map[Hash][]orphan
+	have      map[Hash]string // key -> origin, for dedupe + attribution
+	counts    map[string]int  // origin -> parked entries
+	order     []Hash          // insertion order of keys, for eviction
 }
 
-func newOrphanPool(max int) *orphanPool {
+// newOrphanPool builds a pool bounded at max entries total and perOrigin
+// entries per delivering peer (perOrigin < 1 selects max/4, min 1).
+func newOrphanPool(max, perOrigin int) *orphanPool {
 	if max < 1 {
 		max = 1
 	}
+	if perOrigin < 1 {
+		perOrigin = max / 4
+		if perOrigin < 1 {
+			perOrigin = 1
+		}
+	}
+	if perOrigin > max {
+		perOrigin = max
+	}
 	return &orphanPool{
-		max:      max,
-		byParent: make(map[Hash][]orphan),
-		have:     make(map[Hash]struct{}),
+		max:       max,
+		perOrigin: perOrigin,
+		byParent:  make(map[Hash][]orphan),
+		have:      make(map[Hash]string),
+		counts:    make(map[string]int),
 	}
 }
 
-// add parks b, evicting the oldest orphan at capacity. It reports
-// whether the block was newly parked (false for duplicates).
-func (p *orphanPool) add(b Block) bool {
+// add parks b on behalf of origin, evicting per the attribution policy
+// at capacity. It reports whether the block was newly parked (false for
+// duplicates).
+func (p *orphanPool) add(b Block, origin string) bool {
 	key := sha256d(b.Header.Marshal())
 	if _, dup := p.have[key]; dup {
 		return false
 	}
-	for len(p.order) >= p.max {
-		p.evictOldest()
+	// A peer at its quota evicts its own oldest, never anyone else's.
+	// Unattributed submissions (origin "" — local miners, tests) skip
+	// the quota; only the global bound applies to them.
+	if origin != "" {
+		for p.counts[origin] >= p.perOrigin {
+			p.evictOldestOf(origin)
+		}
 	}
-	p.have[key] = struct{}{}
+	// A full pool evicts from whoever holds the most — during a flood
+	// that is the flooder, so minority origins ride it out untouched.
+	for len(p.order) >= p.max {
+		p.evictOldestOf(p.largestOrigin())
+	}
+	p.have[key] = origin
+	p.counts[origin]++
 	p.order = append(p.order, key)
-	p.byParent[b.Header.PrevHash] = append(p.byParent[b.Header.PrevHash], orphan{block: b, key: key})
+	p.byParent[b.Header.PrevHash] = append(p.byParent[b.Header.PrevHash],
+		orphan{block: b, key: key, origin: origin})
 	return true
 }
 
@@ -63,20 +101,58 @@ func (p *orphanPool) take(parent Hash) []Block {
 	delete(p.byParent, parent)
 	out := make([]Block, 0, len(waiting))
 	for _, o := range waiting {
-		delete(p.have, o.key)
+		p.forget(o.key)
 		p.dropFromOrder(o.key)
 		out = append(out, o.block)
 	}
 	return out
 }
 
-func (p *orphanPool) evictOldest() {
-	if len(p.order) == 0 {
+// largestOrigin returns the origin currently holding the most orphans
+// (ties broken toward the one with the oldest entry, preserving FIFO
+// fairness between equal holders).
+func (p *orphanPool) largestOrigin() string {
+	maxCount := 0
+	for _, c := range p.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for _, key := range p.order {
+		if origin := p.have[key]; p.counts[origin] == maxCount {
+			return origin
+		}
+	}
+	return "" // unreachable on a non-empty pool
+}
+
+// evictOldestOf removes the oldest parked orphan delivered by origin.
+func (p *orphanPool) evictOldestOf(origin string) {
+	for i, key := range p.order {
+		if p.have[key] != origin {
+			continue
+		}
+		p.order = append(p.order[:i], p.order[i+1:]...)
+		p.forget(key)
+		p.dropFromParentIndex(key)
 		return
 	}
-	key := p.order[0]
-	p.order = p.order[1:]
+}
+
+// forget clears the dedupe and attribution records for key.
+func (p *orphanPool) forget(key Hash) {
+	origin, ok := p.have[key]
+	if !ok {
+		return
+	}
 	delete(p.have, key)
+	if p.counts[origin]--; p.counts[origin] <= 0 {
+		delete(p.counts, origin)
+	}
+}
+
+// dropFromParentIndex removes key's entry from the byParent index.
+func (p *orphanPool) dropFromParentIndex(key Hash) {
 	for parent, waiting := range p.byParent {
 		for i, o := range waiting {
 			if o.key == key {
@@ -103,3 +179,6 @@ func (p *orphanPool) dropFromOrder(key Hash) {
 
 // len returns the number of parked orphans.
 func (p *orphanPool) len() int { return len(p.order) }
+
+// countOf returns the number of parked orphans delivered by origin.
+func (p *orphanPool) countOf(origin string) int { return p.counts[origin] }

@@ -1,0 +1,216 @@
+package blockchain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"hashcore/internal/baseline"
+)
+
+// fakeOrphan fabricates a block whose parent is unknown. The chain
+// checks the parent before PoW, so these park without any mining —
+// exactly the cheap ammunition an orphan-spraying attacker would use.
+func fakeOrphan(parent Hash, nonce uint32) Block {
+	return Block{Header: Header{
+		Version:  1,
+		PrevHash: parent,
+		Time:     DefaultParams().GenesisTime + uint64(nonce),
+		Bits:     DefaultParams().GenesisBits,
+		Nonce:    uint64(nonce),
+	}}
+}
+
+// unknownParent derives a parent hash that no chain contains.
+func unknownParent(tag byte) Hash {
+	var h Hash
+	h[0] = 0xfe
+	h[31] = tag
+	return h
+}
+
+func TestOrphanPoolPerOriginQuotaSelfEvicts(t *testing.T) {
+	p := newOrphanPool(16, 3)
+	parent := unknownParent(1)
+	for i := uint32(0); i < 5; i++ {
+		if !p.add(fakeOrphan(parent, i), "attacker") {
+			t.Fatalf("add %d reported duplicate", i)
+		}
+	}
+	if got := p.countOf("attacker"); got != 3 {
+		t.Fatalf("attacker holds %d orphans, want quota 3", got)
+	}
+	// The survivors must be the newest three (FIFO eviction within the
+	// origin): taking the parent's waiters should yield nonces 2,3,4.
+	got := p.take(parent)
+	if len(got) != 3 {
+		t.Fatalf("take returned %d blocks, want 3", len(got))
+	}
+	for i, b := range got {
+		if want := uint64(i + 2); b.Header.Nonce != want {
+			t.Errorf("survivor %d has nonce %d, want %d", i, b.Header.Nonce, want)
+		}
+	}
+	if p.len() != 0 {
+		t.Errorf("pool not empty after take: %d", p.len())
+	}
+}
+
+func TestOrphanPoolFloodEvictsFlooderNotMinority(t *testing.T) {
+	// Pool of 8 with a generous per-origin quota: an honest peer parks 2
+	// orphans, then an attacker floods far past capacity. Global
+	// eviction must come out of the attacker's (largest) holdings.
+	p := newOrphanPool(8, 6)
+	honestParent := unknownParent(2)
+	p.add(fakeOrphan(honestParent, 100), "honest")
+	p.add(fakeOrphan(honestParent, 101), "honest")
+
+	attackParent := unknownParent(3)
+	for i := uint32(0); i < 50; i++ {
+		p.add(fakeOrphan(attackParent, i), "attacker")
+	}
+
+	if got := p.countOf("honest"); got != 2 {
+		t.Fatalf("flood evicted the honest peer's orphans: %d left, want 2", got)
+	}
+	if got := p.countOf("attacker"); got != 6 {
+		t.Errorf("attacker holds %d, want its quota 6", got)
+	}
+	if p.len() != 8 {
+		t.Errorf("pool size %d, want max 8", p.len())
+	}
+}
+
+func TestOrphanPoolGlobalCapTiesEvictOldest(t *testing.T) {
+	// Two origins at equal counts: global-capacity eviction should take
+	// from whichever holds the oldest entry, preserving FIFO fairness.
+	p := newOrphanPool(4, 4)
+	parent := unknownParent(4)
+	p.add(fakeOrphan(parent, 0), "a") // oldest
+	p.add(fakeOrphan(parent, 1), "b")
+	p.add(fakeOrphan(parent, 2), "a")
+	p.add(fakeOrphan(parent, 3), "b")
+	p.add(fakeOrphan(parent, 4), "c") // forces one eviction
+	if got := p.countOf("a"); got != 1 {
+		t.Errorf("origin a holds %d, want 1 (its oldest evicted)", got)
+	}
+	if got := p.countOf("b"); got != 2 {
+		t.Errorf("origin b holds %d, want 2 (untouched)", got)
+	}
+}
+
+func TestOrphanPoolDedupeAcrossOrigins(t *testing.T) {
+	p := newOrphanPool(8, 8)
+	b := fakeOrphan(unknownParent(5), 7)
+	if !p.add(b, "first") {
+		t.Fatal("initial add rejected")
+	}
+	if p.add(b, "second") {
+		t.Error("duplicate accepted under a different origin")
+	}
+	if p.len() != 1 || p.countOf("first") != 1 || p.countOf("second") != 0 {
+		t.Errorf("len=%d first=%d second=%d", p.len(), p.countOf("first"), p.countOf("second"))
+	}
+}
+
+func TestNodeOrphanFloodAttribution(t *testing.T) {
+	n, err := OpenNode(NodeConfig{
+		Params:            DefaultParams(),
+		Hasher:            baseline.SHA256d{},
+		MaxOrphans:        8,
+		MaxOrphansPerPeer: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	honest := fakeOrphan(unknownParent(6), 0)
+	if _, err := n.AddBlockFrom(honest, "honest:1"); !errors.Is(err, ErrOrphan) {
+		t.Fatalf("honest orphan: %v, want ErrOrphan", err)
+	}
+	for i := uint32(0); i < 100; i++ {
+		if _, err := n.AddBlockFrom(fakeOrphan(unknownParent(7), i), "attacker:1"); !errors.Is(err, ErrOrphan) {
+			t.Fatalf("attacker orphan %d: %v, want ErrOrphan", i, err)
+		}
+	}
+	if got := n.OrphanCountFrom("honest:1"); got != 1 {
+		t.Errorf("honest orphan evicted by flood (count %d, want 1)", got)
+	}
+	if got := n.OrphanCountFrom("attacker:1"); got != 4 {
+		t.Errorf("attacker holds %d orphans, want per-peer cap 4", got)
+	}
+	if n.OrphanCount() != 5 {
+		t.Errorf("pool holds %d, want 5", n.OrphanCount())
+	}
+}
+
+func TestNodeOrphanDedupeUnderConcurrentAdd(t *testing.T) {
+	n := newTestNode(t, nil)
+	const workers = 8
+	blocks := make([]Block, 4)
+	for i := range blocks {
+		blocks[i] = fakeOrphan(unknownParent(8), uint32(i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			origin := fmt.Sprintf("peer:%d", w)
+			for _, b := range blocks {
+				if _, err := n.AddBlockFrom(b, origin); !errors.Is(err, ErrOrphan) {
+					t.Errorf("AddBlockFrom: %v, want ErrOrphan", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := n.OrphanCount(); got != len(blocks) {
+		t.Errorf("pool holds %d, want %d (each block parked once)", got, len(blocks))
+	}
+}
+
+func TestNodeRecursiveConnectAfterWithholding(t *testing.T) {
+	// An adversary relays a 4-block descendancy but withholds the first
+	// block. Each child parks as an orphan; when the withheld parent
+	// finally arrives (from an honest peer), the whole chain must
+	// connect recursively and leave the pool empty.
+	scratch := newTestChain(t)
+	tm := DefaultParams().GenesisTime
+	parent := scratch.GenesisID()
+	var blocks []Block
+	for i := 0; i < 4; i++ {
+		tm += 30
+		b := mineOn(t, scratch, parent, tm, [][]byte{{byte(i)}})
+		id, err := scratch.AddBlock(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, b)
+		parent = id
+	}
+
+	n := newTestNode(t, nil)
+	for i := len(blocks) - 1; i >= 1; i-- {
+		if _, err := n.AddBlockFrom(blocks[i], "adversary"); !errors.Is(err, ErrOrphan) {
+			t.Fatalf("withheld-parent block %d: %v, want ErrOrphan", i, err)
+		}
+	}
+	if got := n.OrphanCountFrom("adversary"); got != 3 {
+		t.Fatalf("adversary parked %d orphans, want 3", got)
+	}
+	if _, err := n.AddBlockFrom(blocks[0], "honest"); err != nil {
+		t.Fatalf("connecting parent: %v", err)
+	}
+	if n.TipID() != parent {
+		t.Errorf("tip %x, want the chain head after recursive connect", n.TipID())
+	}
+	if n.Height() != 4 {
+		t.Errorf("height %d, want 4", n.Height())
+	}
+	if n.OrphanCount() != 0 {
+		t.Errorf("pool still holds %d orphans after connect", n.OrphanCount())
+	}
+}

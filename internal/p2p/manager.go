@@ -51,6 +51,41 @@ type Config struct {
 	// exponential backoff. Defaults 1s / 30s.
 	ReconnectWait time.Duration
 	ReconnectMax  time.Duration
+	// HandshakeTimeout bounds the hello exchange, so a peer that
+	// connects and never speaks cannot hold a session slot open.
+	// Default wire's 10s.
+	HandshakeTimeout time.Duration
+	// MsgRate bounds each peer's inbound messages per second at the
+	// wire layer; a peer exceeding it is disconnected and penalized
+	// PointsRateLimited. Default 500 (bursts to MsgBurst); negative
+	// disables the limit.
+	MsgRate float64
+	// MsgBurst is the rate limiter's bucket depth. Default 4x MsgRate.
+	MsgBurst int
+	// BanThreshold is the misbehavior score at which a host is banned.
+	// Default 100 (one invalid block); negative disables scoring and
+	// bans entirely.
+	BanThreshold int
+	// BanDuration is how long a ban lasts. Default 10m.
+	BanDuration time.Duration
+	// ScoreHalfLife is the misbehavior score's exponential decay
+	// half-life, so old offenses are forgiven. Default 10m.
+	ScoreHalfLife time.Duration
+	// MaxInboundPerHost caps concurrent inbound sessions per remote
+	// host, so one machine cannot fill the peer table from many ports.
+	// Default 2.
+	MaxInboundPerHost int
+	// OutboundReserved holds back this many peer slots for outbound
+	// sessions: inbound peers may fill at most MaxPeers-OutboundReserved
+	// slots, so an eclipse attacker connecting in cannot crowd out the
+	// node's own dials. Default MaxPeers/4 clamped to [1,4] (0 when
+	// MaxPeers is 1); negative disables the reserve.
+	OutboundReserved int
+	// Dial opens outbound connections; nil means TCP. Swap in a
+	// simnet host's DialFunc to run the manager inside the lab.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// Listen binds the inbound listener; nil means TCP.
+	Listen func(addr string) (net.Listener, error)
 	// Logf receives manager events; nil means log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -89,6 +124,48 @@ func (c *Config) fillDefaults() error {
 	if c.ReconnectMax <= 0 {
 		c.ReconnectMax = 30 * time.Second
 	}
+	if c.MsgRate == 0 {
+		c.MsgRate = 500
+	}
+	if c.MsgRate < 0 {
+		c.MsgRate = 0
+	}
+	if c.BanThreshold == 0 {
+		c.BanThreshold = 100
+	}
+	if c.BanDuration <= 0 {
+		c.BanDuration = 10 * time.Minute
+	}
+	if c.ScoreHalfLife <= 0 {
+		c.ScoreHalfLife = 10 * time.Minute
+	}
+	if c.MaxInboundPerHost < 1 {
+		c.MaxInboundPerHost = 2
+	}
+	if c.OutboundReserved == 0 {
+		c.OutboundReserved = c.MaxPeers / 4
+		if c.OutboundReserved < 1 {
+			c.OutboundReserved = 1
+		}
+		if c.OutboundReserved > 4 {
+			c.OutboundReserved = 4
+		}
+	}
+	if c.OutboundReserved < 0 {
+		c.OutboundReserved = 0
+	} else if c.OutboundReserved >= c.MaxPeers {
+		c.OutboundReserved = c.MaxPeers - 1
+	}
+	if c.Dial == nil {
+		c.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	if c.Listen == nil {
+		c.Listen = func(addr string) (net.Listener, error) {
+			return net.Listen("tcp", addr)
+		}
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
@@ -103,10 +180,12 @@ type Manager struct {
 	cfg     Config
 	node    *blockchain.Node
 	genesis string // hex, pinned in handshakes
+	scores  *scoreboard
 
 	mu      sync.Mutex
 	ln      net.Listener
 	peers   map[*peer]struct{}
+	pending int // inbound conns still in their handshake
 	started bool
 	closed  bool
 
@@ -148,6 +227,7 @@ func New(cfg Config) (*Manager, error) {
 		cfg:     cfg,
 		node:    cfg.Node,
 		genesis: hashToHex(cfg.Node.GenesisID()),
+		scores:  newScoreboard(cfg.BanThreshold, cfg.BanDuration, cfg.ScoreHalfLife),
 		peers:   make(map[*peer]struct{}),
 		quit:    make(chan struct{}),
 	}, nil
@@ -166,7 +246,7 @@ func (m *Manager) Start() error {
 		return errors.New("p2p: manager closed")
 	}
 	if m.cfg.ListenAddr != "" {
-		ln, err := net.Listen("tcp", m.cfg.ListenAddr)
+		ln, err := m.cfg.Listen(m.cfg.ListenAddr)
 		if err != nil {
 			return err
 		}
@@ -201,9 +281,41 @@ func (m *Manager) PeerCount() int {
 	return len(m.peers)
 }
 
+// PeerInfo describes one live session for observability (lab
+// assertions, status endpoints).
+type PeerInfo struct {
+	// Name is the session's peer address (host:port).
+	Name string
+	// Host is the score/ban key (Name without the port).
+	Host string
+	// Inbound reports whether the remote dialed us.
+	Inbound bool
+}
+
+// Peers snapshots the live, handshaken sessions.
+func (m *Manager) Peers() []PeerInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]PeerInfo, 0, len(m.peers))
+	for p := range m.peers {
+		out = append(out, PeerInfo{Name: p.name, Host: p.host, Inbound: p.inbound})
+	}
+	return out
+}
+
+// Bans returns the currently banned hosts, sorted.
+func (m *Manager) Bans() []string { return m.scores.list(time.Now()) }
+
+// Banned reports whether host is currently banned.
+func (m *Manager) Banned(host string) bool { return m.scores.banned(host, time.Now()) }
+
+// Score returns host's current (decayed) misbehavior score.
+func (m *Manager) Score(host string) float64 { return m.scores.scoreOf(host, time.Now()) }
+
 // Connect maintains a persistent outbound session to addr: dial,
 // handshake, sync; on any failure, re-dial with exponential backoff
-// until the manager closes. It returns immediately.
+// until the manager closes. Banned addresses are skipped until the ban
+// lapses. It returns immediately.
 func (m *Manager) Connect(addr string) {
 	m.wg.Add(1)
 	go func() {
@@ -215,10 +327,11 @@ func (m *Manager) Connect(addr string) {
 				return
 			default:
 			}
-			nc, err := net.DialTimeout("tcp", addr, m.cfg.DialTimeout)
-			if err == nil {
+			if m.scores.banned(hostOf(addr), time.Now()) {
+				m.cfg.Logf("p2p: not dialing banned peer %s", addr)
+			} else if nc, err := m.cfg.Dial(addr, m.cfg.DialTimeout); err == nil {
 				backoff.Reset()
-				if err := m.runPeer(nc, addr); err != nil {
+				if err := m.runPeer(nc, addr, false); err != nil {
 					m.cfg.Logf("p2p: session with %s ended: %v", addr, err)
 				}
 			} else {
@@ -255,20 +368,55 @@ func (m *Manager) acceptLoop(ln net.Listener) {
 			}
 			continue
 		}
+		// Gate before spending a goroutine: banned hosts are dropped on
+		// the floor, and the number of conns still inside their
+		// handshake is capped so connect-and-stall cannot pile up
+		// unbounded sessions behind the handshake timeout.
+		addr := nc.RemoteAddr().String()
+		if m.scores.banned(hostOf(addr), time.Now()) {
+			m.cfg.Logf("p2p: refusing banned host %s", hostOf(addr))
+			nc.Close()
+			continue
+		}
+		if !m.reservePending() {
+			m.cfg.Logf("p2p: refusing %s: too many pending handshakes", addr)
+			nc.Close()
+			continue
+		}
 		m.wg.Add(1)
 		go func() {
 			defer m.wg.Done()
-			if err := m.runPeer(nc, nc.RemoteAddr().String()); err != nil {
-				m.cfg.Logf("p2p: inbound session from %s ended: %v", nc.RemoteAddr(), err)
+			if err := m.runPeer(nc, addr, true); err != nil {
+				m.cfg.Logf("p2p: inbound session from %s ended: %v", addr, err)
 			}
 		}()
 	}
 }
 
+// reservePending claims a handshake slot; releasePending frees it once
+// the hello exchange concludes either way.
+func (m *Manager) reservePending() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.pending >= m.cfg.MaxPeers {
+		return false
+	}
+	m.pending++
+	return true
+}
+
+func (m *Manager) releasePending() {
+	m.mu.Lock()
+	m.pending--
+	m.mu.Unlock()
+}
+
 // runPeer drives one session on nc: handshake, validation, registration,
 // initial sync kick, dispatch loop. It blocks until the session ends and
-// always closes nc.
-func (m *Manager) runPeer(nc net.Conn, name string) error {
+// always closes nc. Session-ending protocol violations feed the host's
+// misbehavior score on the way out.
+func (m *Manager) runPeer(nc net.Conn, name string, inbound bool) error {
+	host := hostOf(name)
 	wp := wire.NewPeer(nc, wire.PeerConfig{
 		Hello: wire.Hello{
 			Network: m.cfg.Network,
@@ -280,20 +428,28 @@ func (m *Manager) runPeer(nc net.Conn, name string) error {
 			MaxLine:      MaxLineBytes,
 			WriteTimeout: m.cfg.WriteTimeout,
 		},
-		PingInterval: m.cfg.PingInterval,
+		PingInterval:     m.cfg.PingInterval,
+		HandshakeTimeout: m.cfg.HandshakeTimeout,
+		MsgRate:          m.cfg.MsgRate,
+		MsgBurst:         m.cfg.MsgBurst,
 	})
 	remote, err := wp.Handshake()
+	if inbound {
+		m.releasePending()
+	}
 	if err != nil {
 		wp.Close()
+		m.penalize(host, PointsHandshake, err)
 		return err
 	}
 	if remote.Network != m.cfg.Network || remote.Genesis != m.genesis {
 		wp.Close()
+		m.penalize(host, PointsHandshake, "wrong network or genesis")
 		return fmt.Errorf("p2p: peer %s is on network %q genesis %.8s…, want %q %.8s…",
 			name, remote.Network, remote.Genesis, m.cfg.Network, m.genesis)
 	}
 
-	p := newPeer(m, wp, name)
+	p := newPeer(m, wp, name, inbound)
 	if err := m.addPeer(p); err != nil {
 		wp.Close()
 		return err
@@ -304,7 +460,50 @@ func (m *Manager) runPeer(nc net.Conn, name string) error {
 	// Kick off sync immediately: the remote may be ahead of us right
 	// now, and if it is behind, the empty page costs one round trip.
 	p.triggerSync()
-	return wp.Run(p.handle)
+	err = wp.Run(p.handle)
+	if pts := violationPoints(err); pts > 0 {
+		m.penalize(host, pts, err)
+	}
+	return err
+}
+
+// violationPoints maps a session-ending error to the misbehavior score
+// it earns (0 for benign endings: graceful close, transport drop).
+func violationPoints(err error) int {
+	var v *violationError
+	switch {
+	case err == nil:
+		return 0
+	case errors.As(err, &v):
+		return v.points
+	case errors.Is(err, wire.ErrRateLimited):
+		return PointsRateLimited
+	case errors.Is(err, wire.ErrMalformed):
+		return PointsMalformed
+	default:
+		return 0
+	}
+}
+
+// penalize adds points to host's misbehavior score; crossing the
+// threshold bans the host and drops its live sessions. It reports
+// whether the host is now banned.
+func (m *Manager) penalize(host string, points int, reason any) bool {
+	if m.cfg.BanThreshold < 0 || host == "" {
+		return false
+	}
+	score, banned := m.scores.add(host, points, time.Now())
+	if !banned {
+		m.cfg.Logf("p2p: host %s penalized +%d (score %.0f): %v", host, points, score, reason)
+		return false
+	}
+	m.cfg.Logf("p2p: host %s BANNED for %s (score %.0f): %v", host, m.cfg.BanDuration, score, reason)
+	for _, p := range m.snapshotPeers() {
+		if p.host == host {
+			p.wp.Close()
+		}
+	}
+	return true
 }
 
 func (m *Manager) addPeer(p *peer) error {
@@ -315,6 +514,28 @@ func (m *Manager) addPeer(p *peer) error {
 	}
 	if len(m.peers) >= m.cfg.MaxPeers {
 		return fmt.Errorf("p2p: refusing peer %s: at MaxPeers=%d", p.name, m.cfg.MaxPeers)
+	}
+	if p.inbound {
+		inbound, sameHost := 0, 0
+		for q := range m.peers {
+			if q.inbound {
+				inbound++
+				if q.host == p.host {
+					sameHost++
+				}
+			}
+		}
+		if sameHost >= m.cfg.MaxInboundPerHost {
+			return fmt.Errorf("p2p: refusing peer %s: %d inbound sessions from host %s already",
+				p.name, sameHost, p.host)
+		}
+		// The outbound reserve is the eclipse defense: however many
+		// attackers connect in, the node keeps slots for peers it
+		// chose itself.
+		if inbound >= m.cfg.MaxPeers-m.cfg.OutboundReserved {
+			return fmt.Errorf("p2p: refusing peer %s: inbound slots full (%d of %d, %d reserved for outbound)",
+				p.name, inbound, m.cfg.MaxPeers, m.cfg.OutboundReserved)
+		}
 	}
 	m.peers[p] = struct{}{}
 	return nil

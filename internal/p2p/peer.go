@@ -34,13 +34,19 @@ const (
 // manager's announce loop touch the peer from their own goroutines, so
 // all sync state lives behind p.mu.
 type peer struct {
-	m    *Manager
-	wp   *wire.Peer
-	name string
+	m       *Manager
+	wp      *wire.Peer
+	name    string
+	host    string // score/ban key: name without the port
+	inbound bool
 
 	mu     sync.Mutex
 	state  syncState
 	reqGen int // generation of the outstanding request; stale timeouts no-op
+	// unsolicited counts response frames that matched no outstanding
+	// request. A small allowance absorbs benign timeout races; past it
+	// the peer is feeding us responses we never asked for.
+	unsolicited int
 
 	// Body download queue, in header (ascending height) order.
 	want    []blockchain.Hash
@@ -61,11 +67,26 @@ type peer struct {
 	timeout *time.Timer
 }
 
-func newPeer(m *Manager, wp *wire.Peer, name string) *peer {
+// maxWantQueue bounds the body-download queue one peer may accumulate
+// from header pages, so an adversary advertising an endless header
+// chain cannot grow per-peer state without bound. A truncated queue
+// latches a retrigger: sync resumes where it stopped once the queued
+// bodies drain.
+const maxWantQueue = 4096
+
+// unsolicitedAllowance is how many request-less response frames a peer
+// may send before it earns PointsUnsolicited per extra frame. Benign
+// races (a response landing just after its timeout reset the engine)
+// spend from the same allowance, so it is a few frames deep.
+const unsolicitedAllowance = 8
+
+func newPeer(m *Manager, wp *wire.Peer, name string, inbound bool) *peer {
 	return &peer{
 		m:       m,
 		wp:      wp,
 		name:    name,
+		host:    hostOf(name),
+		inbound: inbound,
 		wantSet: make(map[blockchain.Hash]struct{}),
 	}
 }
@@ -136,7 +157,7 @@ func (p *peer) handle(env wire.Envelope) error {
 func (p *peer) handleInv(msg InvMsg) error {
 	tip, err := hexToHash(msg.Tip)
 	if err != nil {
-		return err
+		return violation(PointsMalformed, "p2p: inv with bad tip: %w", err)
 	}
 	if p.m.node.HasBlock(tip) {
 		return nil
@@ -148,13 +169,13 @@ func (p *peer) handleInv(msg InvMsg) error {
 // handleGetHeaders serves a header page after the locator's fork point.
 func (p *peer) handleGetHeaders(msg GetHeadersMsg) error {
 	if len(msg.Locator) > MaxLocatorLen {
-		return fmt.Errorf("p2p: locator of %d entries", len(msg.Locator))
+		return violation(PointsMalformed, "p2p: locator of %d entries (max %d)", len(msg.Locator), MaxLocatorLen)
 	}
 	locator := make([]blockchain.Hash, 0, len(msg.Locator))
 	for _, s := range msg.Locator {
 		h, err := hexToHash(s)
 		if err != nil {
-			return err
+			return violation(PointsMalformed, "p2p: getheaders locator: %w", err)
 		}
 		locator = append(locator, h)
 	}
@@ -176,13 +197,13 @@ func (p *peer) handleGetHeaders(msg GetHeadersMsg) error {
 // handleGetBlocks serves full blocks by id, bounded by count and bytes.
 func (p *peer) handleGetBlocks(msg GetBlocksMsg) error {
 	if len(msg.Hashes) > MaxBlocksPerMsg {
-		return fmt.Errorf("p2p: getblocks for %d blocks (max %d)", len(msg.Hashes), MaxBlocksPerMsg)
+		return violation(PointsMalformed, "p2p: getblocks for %d blocks (max %d)", len(msg.Hashes), MaxBlocksPerMsg)
 	}
 	hashes := make([]blockchain.Hash, 0, len(msg.Hashes))
 	for _, s := range msg.Hashes {
 		h, err := hexToHash(s)
 		if err != nil {
-			return err
+			return violation(PointsMalformed, "p2p: getblocks hash: %w", err)
 		}
 		hashes = append(hashes, h)
 	}
@@ -282,24 +303,25 @@ func (p *peer) advanceLocked() error {
 // advance to body download (or the next page).
 func (p *peer) handleHeaders(msg HeadersMsg) error {
 	if len(msg.Headers) > MaxHeadersPerMsg {
-		return fmt.Errorf("p2p: headers page of %d entries", len(msg.Headers))
+		return violation(PointsMalformed, "p2p: headers page of %d entries (max %d)", len(msg.Headers), MaxHeadersPerMsg)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.state != syncHeaders {
-		return nil // stale or unsolicited page; ignore
+		return p.unsolicitedLocked("headers")
 	}
+	truncated := false
 	for _, ref := range msg.Headers {
 		id, err := hexToHash(ref.ID)
 		if err != nil {
-			return err
+			return violation(PointsMalformed, "p2p: headers entry: %w", err)
 		}
 		raw, err := hex.DecodeString(ref.Header)
 		if err != nil {
-			return err
+			return violation(PointsMalformed, "p2p: headers entry: %w", err)
 		}
 		if _, err := blockchain.UnmarshalHeader(raw); err != nil {
-			return err
+			return violation(PointsMalformed, "p2p: headers entry: %w", err)
 		}
 		if p.m.node.HasBlock(id) {
 			continue
@@ -307,14 +329,24 @@ func (p *peer) handleHeaders(msg HeadersMsg) error {
 		if _, queued := p.wantSet[id]; queued {
 			continue
 		}
+		if len(p.want) >= maxWantQueue {
+			// A header flood stops here: drain what is queued, then
+			// resume the walk via the retrigger instead of growing
+			// without bound.
+			truncated = true
+			break
+		}
 		p.wantSet[id] = struct{}{}
 		p.want = append(p.want, id)
 	}
-	p.morePages = len(msg.Headers) == p.m.cfg.HeadersPerPage
+	p.morePages = len(msg.Headers) == p.m.cfg.HeadersPerPage && !truncated
+	if truncated {
+		p.retrigger = true
+	}
 	if p.morePages {
 		last, err := hexToHash(msg.Headers[len(msg.Headers)-1].ID)
 		if err != nil {
-			return err
+			return violation(PointsMalformed, "p2p: headers entry: %w", err)
 		}
 		p.anchor = &last
 	} else {
@@ -323,17 +355,38 @@ func (p *peer) handleHeaders(msg HeadersMsg) error {
 	return p.advanceLocked()
 }
 
+// unsolicitedLocked charges one response frame that matched no
+// outstanding request against the peer's allowance. Caller holds p.mu.
+func (p *peer) unsolicitedLocked(kind string) error {
+	p.unsolicited++
+	if p.unsolicited <= unsolicitedAllowance {
+		return nil // benign: responses race timeouts all the time
+	}
+	return violation(PointsUnsolicited, "p2p: peer %s sent %d unsolicited responses (last: %s)",
+		p.name, p.unsolicited, kind)
+}
+
 // handleBlocks consumes a body batch: feed every block through
 // consensus (duplicates and orphans are expected during concurrent
 // sync), then advance. An invalid block drops the peer.
 func (p *peer) handleBlocks(msg BlocksMsg) error {
 	if len(msg.Blocks) > MaxBlocksPerMsg {
-		return fmt.Errorf("p2p: blocks response of %d entries", len(msg.Blocks))
+		return violation(PointsMalformed, "p2p: blocks response of %d entries (max %d)", len(msg.Blocks), MaxBlocksPerMsg)
+	}
+	// Enforce the server-side byte discipline on the requesting side
+	// too: an honest server stops filling past MaxBlocksBytes (only the
+	// first block may overshoot), so a response that keeps going is a
+	// peer trying to stuff bytes past what we asked for.
+	total := 0
+	for i, s := range msg.Blocks {
+		if total += len(s) / 2; i > 0 && total > MaxBlocksBytes {
+			return violation(PointsMalformed, "p2p: blocks response of %d+ bytes (cap %d)", total, MaxBlocksBytes)
+		}
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.state != syncBlocks {
-		return nil // stale or unsolicited; ignore
+		return p.unsolicitedLocked("blocks")
 	}
 	n := p.m.cfg.BlocksPerBatch
 	if n > len(p.want) {
@@ -342,20 +395,25 @@ func (p *peer) handleBlocks(msg BlocksMsg) error {
 	batch := p.want[:n]
 	rest := p.want[n:]
 
+	parked := 0
 	for _, s := range msg.Blocks {
 		raw, err := hex.DecodeString(s)
 		if err != nil {
-			return err
+			return violation(PointsMalformed, "p2p: blocks entry: %w", err)
 		}
 		b, err := blockchain.UnmarshalBlock(raw)
 		if err != nil {
-			return err
+			return violation(PointsMalformed, "p2p: blocks entry: %w", err)
 		}
-		if _, err := p.m.node.AddBlock(b); err != nil {
-			if errors.Is(err, blockchain.ErrDuplicate) || errors.Is(err, blockchain.ErrOrphan) {
-				continue // raced with another peer / out-of-order arrival
+		if _, err := p.m.node.AddBlockFrom(b, p.host); err != nil {
+			if errors.Is(err, blockchain.ErrOrphan) {
+				parked++
+				continue // out-of-order arrival; connects when the parent lands
 			}
-			return fmt.Errorf("p2p: peer %s sent invalid block: %w", p.name, err)
+			if errors.Is(err, blockchain.ErrDuplicate) {
+				continue // raced with another peer
+			}
+			return violation(PointsInvalidBlock, "p2p: peer %s sent invalid block: %w", p.name, err)
 		}
 	}
 
@@ -384,6 +442,15 @@ func (p *peer) handleBlocks(msg BlocksMsg) error {
 		remaining = nil
 	}
 	p.want = append(remaining, rest...)
+	// A full round that connected nothing and only parked orphans is
+	// the parent-withholding shape: the peer advertises a chain and
+	// serves its bodies, but never the ancestors that would connect
+	// them. Score it; a peer doing this repeatedly gets banned.
+	if !progress && parked > 0 {
+		if p.m.penalize(p.host, PointsUnconnectable, fmt.Sprintf("p2p: peer %s served %d unconnectable blocks", p.name, parked)) {
+			return violation(0, "p2p: peer %s banned for unconnectable blocks", p.name)
+		}
+	}
 	return p.advanceLocked()
 }
 
@@ -403,6 +470,7 @@ func (p *peer) armTimeoutLocked() {
 			return
 		}
 		p.m.cfg.Logf("p2p: peer %s sync request timed out; restarting sync", p.name)
+		p.m.penalize(p.host, PointsSyncTimeout, "sync request timed out")
 		p.state = syncIdle
 		p.want = nil
 		p.wantSet = make(map[blockchain.Hash]struct{})

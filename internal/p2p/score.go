@@ -1,0 +1,170 @@
+package p2p
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Violation point values. One hundred points (the default BanThreshold)
+// is a ban, so a single invalid block bans instantly, while softer
+// misbehavior — timeouts, unsolicited responses, unconnectable block
+// rounds — must repeat faster than the score's half-life decay forgives
+// it. Scores are keyed by host (address without the port), so an abuser
+// cannot shed its record by reconnecting from a fresh ephemeral port.
+const (
+	// PointsMalformed: undecodable payloads, bad hashes, oversized
+	// messages — anything an honest implementation cannot produce.
+	PointsMalformed = 50
+	// PointsRateLimited: the wire-level message rate limiter tripped.
+	PointsRateLimited = 50
+	// PointsInvalidBlock: a block that failed consensus validation
+	// (bad PoW, bad merkle root). Instant ban at the default threshold.
+	PointsInvalidBlock = 100
+	// PointsUnsolicited: response frames we never asked for, beyond the
+	// small allowance that absorbs benign timeout races.
+	PointsUnsolicited = 20
+	// PointsSyncTimeout: an accepted request the peer never answered.
+	PointsSyncTimeout = 10
+	// PointsHandshake: a failed or abandoned hello exchange.
+	PointsHandshake = 10
+	// PointsUnconnectable: a full blocks round that connected nothing
+	// and only parked orphans — the adversarial parent-withholding
+	// shape.
+	PointsUnconnectable = 15
+)
+
+// scoreboard tracks per-host misbehavior scores with exponential
+// half-life decay and turns threshold crossings into timed bans. All
+// methods are safe for concurrent use.
+type scoreboard struct {
+	threshold float64
+	banFor    time.Duration
+	halfLife  time.Duration
+
+	mu     sync.Mutex
+	scores map[string]*hostScore
+	bans   map[string]time.Time // host -> ban expiry
+}
+
+type hostScore struct {
+	points float64
+	last   time.Time
+}
+
+func newScoreboard(threshold int, banFor, halfLife time.Duration) *scoreboard {
+	return &scoreboard{
+		threshold: float64(threshold),
+		banFor:    banFor,
+		halfLife:  halfLife,
+		scores:    make(map[string]*hostScore),
+		bans:      make(map[string]time.Time),
+	}
+}
+
+// add decays host's score to now, adds points, and reports the new
+// score plus whether it crossed the ban threshold (in which case the
+// host is now banned and its score reset, so the next offense after the
+// ban expires starts a fresh count).
+func (s *scoreboard) add(host string, points int, now time.Time) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.scores[host]
+	if e == nil {
+		e = &hostScore{}
+		s.scores[host] = e
+	}
+	e.decay(now, s.halfLife)
+	e.points += float64(points)
+	e.last = now
+	if e.points < s.threshold {
+		return e.points, false
+	}
+	score := e.points
+	delete(s.scores, host)
+	s.bans[host] = now.Add(s.banFor)
+	return score, true
+}
+
+func (e *hostScore) decay(now time.Time, halfLife time.Duration) {
+	if halfLife <= 0 || e.last.IsZero() {
+		return
+	}
+	if dt := now.Sub(e.last); dt > 0 {
+		e.points *= math.Pow(0.5, float64(dt)/float64(halfLife))
+	}
+}
+
+// banned reports whether host is currently banned (expired bans are
+// dropped on the way).
+func (s *scoreboard) banned(host string, now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	until, ok := s.bans[host]
+	if !ok {
+		return false
+	}
+	if now.After(until) {
+		delete(s.bans, host)
+		return false
+	}
+	return true
+}
+
+// scoreOf returns host's current (decayed) score.
+func (s *scoreboard) scoreOf(host string, now time.Time) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.scores[host]
+	if e == nil {
+		return 0
+	}
+	e.decay(now, s.halfLife)
+	e.last = now
+	return e.points
+}
+
+// list returns the currently banned hosts, sorted.
+func (s *scoreboard) list(now time.Time) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.bans))
+	for host, until := range s.bans {
+		if now.After(until) {
+			delete(s.bans, host)
+			continue
+		}
+		out = append(out, host)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// violationError tags a session-ending protocol error with the score
+// points it is worth, so runPeer can penalize the host when the
+// session unwinds.
+type violationError struct {
+	points int
+	err    error
+}
+
+func (e *violationError) Error() string { return e.err.Error() }
+func (e *violationError) Unwrap() error { return e.err }
+
+// violation builds a session-ending, score-carrying error.
+func violation(points int, format string, args ...any) error {
+	return &violationError{points: points, err: fmt.Errorf(format, args...)}
+}
+
+// hostOf extracts the score/ban key from a peer address: the host
+// without the port, so reconnecting from a new ephemeral port keeps the
+// same record.
+func hostOf(addr string) string {
+	if host, _, err := net.SplitHostPort(addr); err == nil {
+		return host
+	}
+	return addr
+}

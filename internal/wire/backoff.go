@@ -1,19 +1,32 @@
 package wire
 
-import "time"
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// DefaultJitter is the jitter fraction NewBackoff installs: each delay
+// is drawn uniformly from [d*(1-j), d*(1+j)]. Without it, every client
+// that lost the same server retries on the same schedule, and a
+// restarted server takes the whole fleet's dials in one synchronized
+// stampede — jitter spreads the herd.
+const DefaultJitter = 0.3
 
 // Backoff is the exponential retry schedule both reconnecting clients
 // (pool miners, p2p dialers) share: start at Wait, double per failure,
-// cap at Max, reset on success. The zero value is unusable; fill Wait
-// and Max (NewBackoff applies the conventional 1s/30s defaults).
+// cap at Max, reset on success, with +-Jitter randomization per delay.
+// The zero value is unusable; fill Wait and Max (NewBackoff applies the
+// conventional 1s/30s defaults and DefaultJitter — a literal Backoff
+// with Jitter 0 stays deterministic, for tests).
 type Backoff struct {
-	Wait time.Duration
-	Max  time.Duration
-	cur  time.Duration
+	Wait   time.Duration
+	Max    time.Duration
+	Jitter float64 // fraction of the delay randomized, [0, 1)
+	cur    time.Duration
 }
 
 // NewBackoff returns a schedule with the given bounds, defaulting to
-// 1s initial and 30s cap when non-positive.
+// 1s initial, 30s cap and DefaultJitter when non-positive.
 func NewBackoff(wait, max time.Duration) *Backoff {
 	if wait <= 0 {
 		wait = time.Second
@@ -21,11 +34,12 @@ func NewBackoff(wait, max time.Duration) *Backoff {
 	if max <= 0 {
 		max = 30 * time.Second
 	}
-	return &Backoff{Wait: wait, Max: max}
+	return &Backoff{Wait: wait, Max: max, Jitter: DefaultJitter}
 }
 
 // Next returns the delay to sleep before the next attempt and advances
-// the schedule.
+// the schedule. The exponential base advances deterministically; only
+// the returned delay is jittered, so the cap still bounds every sleep.
 func (b *Backoff) Next() time.Duration {
 	if b.cur == 0 {
 		b.cur = b.Wait
@@ -33,6 +47,20 @@ func (b *Backoff) Next() time.Duration {
 	d := b.cur
 	if b.cur *= 2; b.cur > b.Max {
 		b.cur = b.Max
+	}
+	if b.Jitter > 0 {
+		j := b.Jitter
+		if j >= 1 {
+			j = 0.99
+		}
+		span := 2 * j * float64(d)
+		d = time.Duration(float64(d)*(1-j) + rand.Float64()*span)
+		if d > b.Max {
+			d = b.Max
+		}
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
 	}
 	return d
 }

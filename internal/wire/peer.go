@@ -59,6 +59,14 @@ type PeerConfig struct {
 	IdleTimeout time.Duration
 	// HandshakeTimeout bounds the hello exchange. Default 10s.
 	HandshakeTimeout time.Duration
+	// MsgRate bounds inbound messages per second (every frame counts,
+	// lifecycle pings included — a ping flood is still a flood). A peer
+	// exceeding it ends the session with ErrRateLimited. Zero disables
+	// the limit (the historical behavior).
+	MsgRate float64
+	// MsgBurst is the rate limiter's bucket depth: how far above MsgRate
+	// a short burst may go. Default 4x MsgRate.
+	MsgBurst int
 }
 
 // DefaultPingInterval is the keepalive period when PeerConfig leaves it
@@ -79,6 +87,9 @@ func (c *PeerConfig) fillDefaults() {
 	if c.HandshakeTimeout <= 0 {
 		c.HandshakeTimeout = 10 * time.Second
 	}
+	if c.MsgRate > 0 && c.MsgBurst < 1 {
+		c.MsgBurst = int(4 * c.MsgRate)
+	}
 }
 
 // ErrHandshake reports a failed hello exchange.
@@ -93,7 +104,8 @@ type Peer struct {
 	conn *Conn
 	cfg  PeerConfig
 
-	remote Hello
+	remote  Hello
+	limiter *TokenBucket // nil when MsgRate is unlimited
 
 	closing   atomic.Bool
 	closeOnce sync.Once
@@ -103,11 +115,15 @@ type Peer struct {
 // NewPeer wraps nc. Handshake must run (and succeed) before Run.
 func NewPeer(nc net.Conn, cfg PeerConfig) *Peer {
 	cfg.fillDefaults()
-	return &Peer{
+	p := &Peer{
 		conn: NewConn(nc, cfg.Conn),
 		cfg:  cfg,
 		quit: make(chan struct{}),
 	}
+	if cfg.MsgRate > 0 {
+		p.limiter = NewTokenBucket(cfg.MsgRate, cfg.MsgBurst)
+	}
+	return p
 }
 
 // Handshake sends this side's hello and reads the other's. Both sides
@@ -196,6 +212,9 @@ func (p *Peer) Run(handler func(Envelope) error) error {
 				return nil // we initiated the close; not a failure
 			}
 			return err
+		}
+		if p.limiter != nil && !p.limiter.Allow(time.Now()) {
+			return ErrRateLimited
 		}
 		env, err := ParseEnvelope(line)
 		if err != nil {

@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrRateLimited reports a peer that exceeded its message-rate budget.
+// Sessions end with it so the layer above (p2p scoring) can tell a
+// flooding peer apart from a broken transport.
+var ErrRateLimited = errors.New("wire: peer exceeded message rate limit")
+
+// TokenBucket is a classic token-bucket rate limiter: capacity `burst`
+// tokens, refilled at `rate` tokens/second. Allow is safe for concurrent
+// use. It exists here (rather than pulling in x/time) because the wire
+// layer is dependency-free and every protocol on it wants the same
+// per-peer flood bound.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket returns a full bucket. rate must be positive; burst is
+// clamped to at least 1.
+func NewTokenBucket(rate float64, burst int) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// Allow consumes one token if available, refilling for the time elapsed
+// since the previous call.
+func (b *TokenBucket) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens += elapsed * b.rate
+			if b.tokens > b.burst {
+				b.tokens = b.burst
+			}
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -281,7 +281,9 @@ func TestPeerRejectsSecondHello(t *testing.T) {
 }
 
 func TestBackoffSchedule(t *testing.T) {
-	b := NewBackoff(time.Second, 5*time.Second)
+	// A literal Backoff (Jitter 0) keeps the deterministic doubling
+	// schedule.
+	b := &Backoff{Wait: time.Second, Max: 5 * time.Second}
 	want := []time.Duration{
 		time.Second, 2 * time.Second, 4 * time.Second, 5 * time.Second, 5 * time.Second,
 	}
@@ -294,7 +296,119 @@ func TestBackoffSchedule(t *testing.T) {
 	if got := b.Next(); got != time.Second {
 		t.Fatalf("Next() after Reset = %v, want 1s", got)
 	}
-	if d := NewBackoff(0, 0); d.Wait != time.Second || d.Max != 30*time.Second {
-		t.Fatalf("defaults = %v/%v", d.Wait, d.Max)
+	if d := NewBackoff(0, 0); d.Wait != time.Second || d.Max != 30*time.Second || d.Jitter != DefaultJitter {
+		t.Fatalf("defaults = %v/%v jitter %v", d.Wait, d.Max, d.Jitter)
+	}
+}
+
+func TestBackoffJitterSpreadsDelays(t *testing.T) {
+	// NewBackoff jitters: delays stay inside [d*(1-j), d*(1+j)] (capped
+	// at Max) and are not all identical — the anti-stampede property.
+	b := NewBackoff(time.Second, time.Minute)
+	lo := time.Duration(float64(time.Second) * (1 - DefaultJitter))
+	hi := time.Duration(float64(time.Second) * (1 + DefaultJitter))
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 32; i++ {
+		b.Reset()
+		d := b.Next()
+		if d < lo || d > hi {
+			t.Fatalf("jittered delay %v outside [%v, %v]", d, lo, hi)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("32 jittered delays were all identical")
+	}
+	// The cap bounds jittered delays too.
+	b = NewBackoff(time.Second, 2*time.Second)
+	for i := 0; i < 16; i++ {
+		if d := b.Next(); d > 2*time.Second {
+			t.Fatalf("delay %v exceeds cap", d)
+		}
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	now := time.Now()
+	tb := NewTokenBucket(10, 3) // 10/s, burst 3
+	for i := 0; i < 3; i++ {
+		if !tb.Allow(now) {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	if tb.Allow(now) {
+		t.Fatal("4th token granted from a burst-3 bucket")
+	}
+	// 100ms refills exactly one token at 10/s.
+	if !tb.Allow(now.Add(100 * time.Millisecond)) {
+		t.Fatal("refilled token refused")
+	}
+	if tb.Allow(now.Add(100 * time.Millisecond)) {
+		t.Fatal("second token granted after one refill interval")
+	}
+	// A long idle period refills to burst, not beyond.
+	later := now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !tb.Allow(later) {
+			t.Fatalf("post-idle token %d refused", i)
+		}
+	}
+	if tb.Allow(later) {
+		t.Fatal("bucket refilled beyond burst")
+	}
+}
+
+func TestPeerRateLimitEndsFloodingSession(t *testing.T) {
+	pa, pb := peerPair(t,
+		PeerConfig{PingInterval: -1},
+		PeerConfig{PingInterval: -1, MsgRate: 50, MsgBurst: 10},
+	)
+	done := make(chan error, 1)
+	go func() { done <- pb.Run(func(Envelope) error { return nil }) }()
+
+	// Blast messages far above the 50/s budget; the session must end
+	// with ErrRateLimited, not hang or dispatch forever.
+	go func() {
+		for i := 0; i < 10_000; i++ {
+			if err := pa.Send("spam", map[string]int{"i": i}); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrRateLimited) {
+			t.Fatalf("Run = %v, want ErrRateLimited", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("flooded session never rate-limited")
+	}
+}
+
+func TestPeerUnlimitedRateByDefault(t *testing.T) {
+	pa, pb := peerPair(t, PeerConfig{PingInterval: -1}, PeerConfig{PingInterval: -1})
+	got := make(chan struct{}, 256)
+	done := make(chan error, 1)
+	go func() {
+		done <- pb.Run(func(Envelope) error {
+			got <- struct{}{}
+			return nil
+		})
+	}()
+	for i := 0; i < 200; i++ {
+		if err := pa.Send("burst", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		select {
+		case <-got:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of 200 messages dispatched", i)
+		}
+	}
+	pa.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("Run = %v after graceful close", err)
 	}
 }
