@@ -45,7 +45,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (all, table1, fig1, fig2, fig3, sizes, noise, genvssel, predictors, randomx, baselines, mine, vm, pool, chain, sync)")
+	run := flag.String("run", "all", "experiment to run (all, table1, fig1, fig2, fig3, sizes, noise, genvssel, predictors, randomx, baselines, mine, vm, pool, chain, sync, telemetry)")
 	n := flag.Int("n", 1000, "widget population size for fig2/fig3/sizes/noise")
 	profileName := flag.String("profile", "leela", "reference workload profile")
 	seed := flag.Uint64("seed", 2019, "master seed for widget seeds")
@@ -58,6 +58,7 @@ func main() {
 	chainOut := flag.String("chainout", "BENCH_chain.json", "output path for the chain benchmark JSON")
 	syncN := flag.Int("syncn", 512, "blocks for the p2p cold-sync benchmark")
 	syncOut := flag.String("syncout", "BENCH_sync.json", "output path for the sync benchmark JSON")
+	telemetryOut := flag.String("telemetryout", "BENCH_telemetry.json", "output path for the telemetry overhead benchmark JSON")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
@@ -78,7 +79,7 @@ func main() {
 		cpuFile = f
 	}
 
-	err := dispatch(*run, *n, *profileName, *seed, *benchN, *benchOut, *poolN, *poolWorkers, *poolOut, *chainN, *chainOut, *syncN, *syncOut)
+	err := dispatch(*run, *n, *profileName, *seed, *benchN, *benchOut, *poolN, *poolWorkers, *poolOut, *chainN, *chainOut, *syncN, *syncOut, *telemetryOut)
 
 	if cpuFile != nil {
 		pprof.StopCPUProfile()
@@ -114,7 +115,7 @@ func writeMemProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
-func dispatch(run string, n int, profileName string, seed uint64, benchN int, benchOut string, poolN, poolWorkers int, poolOut string, chainN int, chainOut string, syncN int, syncOut string) error {
+func dispatch(run string, n int, profileName string, seed uint64, benchN int, benchOut string, poolN, poolWorkers int, poolOut string, chainN int, chainOut string, syncN int, syncOut, telemetryOut string) error {
 	wants := map[string]bool{}
 	for _, name := range strings.Split(run, ",") {
 		wants[strings.TrimSpace(name)] = true
@@ -229,6 +230,12 @@ func dispatch(run string, n int, profileName string, seed uint64, benchN int, be
 	if all || wants["sync"] {
 		fmt.Println("== P2P cold-sync throughput (real TCP, header-first) ==")
 		if err := runSyncBench(syncN, syncOut); err != nil {
+			return err
+		}
+	}
+	if all || wants["telemetry"] {
+		fmt.Println("== Telemetry record-path and hash-overhead benchmark ==")
+		if err := runTelemetryBench(profileName, benchN, telemetryOut); err != nil {
 			return err
 		}
 	}

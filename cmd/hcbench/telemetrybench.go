@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"hashcore"
+	"hashcore/internal/telemetry"
+)
+
+// TelemetryBenchReport quantifies what observability costs: the raw
+// record-path operations (counter increment, gauge set, histogram
+// observe) in ns/op and allocs/op, and the end-to-end tax on the hash
+// pipeline — the same session benchmark run bare and with a telemetry
+// registry attached. The CI smoke job asserts the record path stays
+// allocation-free and the hash overhead stays small.
+type TelemetryBenchReport struct {
+	GoVersion  string `json:"go_version"`
+	GOARCH     string `json:"goarch"`
+	Timestamp  string `json:"timestamp"`
+	Iterations int    `json:"iterations"`
+
+	CounterIncNs           float64 `json:"counter_inc_ns"`
+	CounterIncAllocs       float64 `json:"counter_inc_allocs"`
+	GaugeSetNs             float64 `json:"gauge_set_ns"`
+	GaugeSetAllocs         float64 `json:"gauge_set_allocs"`
+	HistogramObserveNs     float64 `json:"histogram_observe_ns"`
+	HistogramObserveAllocs float64 `json:"histogram_observe_allocs"`
+
+	HashPlainNs     float64 `json:"hash_plain_ns"`
+	HashTelemetryNs float64 `json:"hash_telemetry_ns"`
+	OverheadPct     float64 `json:"overhead_pct"`
+}
+
+// runTelemetryBench measures the telemetry record path and the
+// instrumented-vs-bare hash pipeline, writing the report to outPath.
+func runTelemetryBench(profileName string, n int, outPath string) error {
+	if n < 1 {
+		n = 1
+	}
+	reg := telemetry.NewRegistry()
+	ctr := reg.Counter("bench_counter_total", "record-path benchmark counter")
+	gauge := reg.Gauge("bench_gauge", "record-path benchmark gauge")
+	hist := reg.Histogram("bench_seconds", "record-path benchmark histogram",
+		telemetry.HashLatencyBuckets)
+
+	ctrRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctr.Inc()
+		}
+	})
+	gaugeRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gauge.Set(int64(i))
+		}
+	})
+	histRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hist.Observe(float64(i) * 1e-6)
+		}
+	})
+
+	plainNs, telNs, err := hashOverhead(profileName, n)
+	if err != nil {
+		return err
+	}
+
+	rep := TelemetryBenchReport{
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Iterations: n,
+
+		CounterIncNs:           float64(ctrRes.NsPerOp()),
+		CounterIncAllocs:       float64(ctrRes.AllocsPerOp()),
+		GaugeSetNs:             float64(gaugeRes.NsPerOp()),
+		GaugeSetAllocs:         float64(gaugeRes.AllocsPerOp()),
+		HistogramObserveNs:     float64(histRes.NsPerOp()),
+		HistogramObserveAllocs: float64(histRes.AllocsPerOp()),
+
+		HashPlainNs:     plainNs,
+		HashTelemetryNs: telNs,
+		OverheadPct:     (telNs - plainNs) / plainNs * 100,
+	}
+
+	fmt.Printf("record path: counter %.1f ns (%.0f allocs)  gauge %.1f ns (%.0f allocs)  histogram %.1f ns (%.0f allocs)\n",
+		rep.CounterIncNs, rep.CounterIncAllocs, rep.GaugeSetNs, rep.GaugeSetAllocs,
+		rep.HistogramObserveNs, rep.HistogramObserveAllocs)
+	fmt.Printf("hash pipeline: bare %.0f ns/hash  instrumented %.0f ns/hash  overhead %+.2f%%\n",
+		rep.HashPlainNs, rep.HashTelemetryNs, rep.OverheadPct)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", outPath, err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// hashOverhead times the session hash path bare and with a telemetry
+// registry attached, returning ns/hash for each. Both sessions are
+// warmed over the exact measurement inputs (the vm benchmark's
+// discipline), then measured in alternating rounds so clock-frequency
+// drift and machine noise hit both variants equally instead of
+// whichever happened to run second.
+func hashOverhead(profileName string, n int) (plainNs, telNs float64, err error) {
+	mk := func(opts ...hashcore.Option) (*hashcore.Session, error) {
+		h, err := hashcore.New(append([]hashcore.Option{hashcore.WithProfile(profileName)}, opts...)...)
+		if err != nil {
+			return nil, err
+		}
+		s := h.NewSession()
+		input := make([]byte, 80)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(input, uint64(i)+10)
+			if _, err := s.Hash(input); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	plain, err := mk()
+	if err != nil {
+		return 0, 0, err
+	}
+	tel, err := mk(hashcore.WithTelemetry(telemetry.NewRegistry()))
+	if err != nil {
+		return 0, 0, err
+	}
+
+	const rounds = 4
+	chunk := n / rounds
+	if chunk < 1 {
+		chunk = 1
+	}
+	measure := func(s *hashcore.Session, base int) (time.Duration, error) {
+		input := make([]byte, 80)
+		start := time.Now()
+		for i := base; i < base+chunk; i++ {
+			binary.LittleEndian.PutUint64(input, uint64(i%n)+10)
+			if _, err := s.Hash(input); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	runtime.GC()
+	var plainTotal, telTotal time.Duration
+	for r := 0; r < rounds; r++ {
+		d, err := measure(plain, r*chunk)
+		if err != nil {
+			return 0, 0, err
+		}
+		plainTotal += d
+		d, err = measure(tel, r*chunk)
+		if err != nil {
+			return 0, 0, err
+		}
+		telTotal += d
+	}
+	ops := float64(rounds * chunk)
+	return float64(plainTotal.Nanoseconds()) / ops, float64(telTotal.Nanoseconds()) / ops, nil
+}

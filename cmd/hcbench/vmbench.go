@@ -4,11 +4,14 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"strconv"
 	"time"
 
 	"hashcore"
+	"hashcore/internal/telemetry"
 )
 
 // VMBenchReport is the machine-readable record of one hash-pipeline
@@ -38,6 +41,31 @@ type VMBenchReport struct {
 	GateNsPerHash  float64 `json:"gate_ns"`
 	RetiredPerHash float64 `json:"retired_per_hash"`
 	EffectiveMIPS  float64 `json:"effective_mips"`
+
+	// LatencyBuckets is the cumulative per-hash latency distribution in
+	// exactly the runtime's hashcore_hash_seconds bucket layout
+	// (telemetry.HashLatencyBuckets), so offline benchmark runs and live
+	// /metrics scrapes are comparable bucket-for-bucket.
+	LatencyBuckets []bucketJSON `json:"latency_buckets"`
+}
+
+// bucketJSON is one cumulative histogram bucket with the bound rendered
+// Prometheus-style (strings survive +Inf, which raw JSON floats cannot).
+type bucketJSON struct {
+	Le    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+func toBucketJSON(bs []telemetry.BucketCount) []bucketJSON {
+	out := make([]bucketJSON, len(bs))
+	for i, b := range bs {
+		le := "+Inf"
+		if !math.IsInf(b.Le, 1) {
+			le = strconv.FormatFloat(b.Le, 'g', -1, 64)
+		}
+		out[i] = bucketJSON{Le: le, Count: b.Count}
+	}
+	return out
 }
 
 // runVMBench measures the production hashing path — a dedicated session,
@@ -80,6 +108,11 @@ func runVMBench(profileName string, n int, outPath string) error {
 		}
 	}
 
+	// The latency histogram shares the runtime metric's bucket layout;
+	// its two clock reads per ~ms hash are noise next to the hash itself.
+	lat := telemetry.NewRegistry().Histogram("hash_seconds", "offline per-hash latency",
+		telemetry.HashLatencyBuckets)
+
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -87,9 +120,11 @@ func runVMBench(profileName string, n int, outPath string) error {
 	start := time.Now()
 	for i := 0; i < n; i++ {
 		binary.LittleEndian.PutUint64(input, uint64(i)+10)
+		t0 := time.Now()
 		if _, err := s.HashTimed(input, &phases); err != nil {
 			return err
 		}
+		lat.ObserveSince(t0)
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
@@ -114,6 +149,7 @@ func runVMBench(profileName string, n int, outPath string) error {
 		GateNsPerHash:  nsPerHash - genNs - execNs,
 		RetiredPerHash: float64(phases.Retired) / float64(n),
 		EffectiveMIPS:  float64(phases.Retired) / execSeconds / 1e6,
+		LatencyBuckets: toBucketJSON(lat.Buckets()),
 	}
 
 	fmt.Printf("profile=%s n=%d  %.1f hashes/s  %.0f ns/hash  %.2f allocs/hash  %.0f B/hash\n",

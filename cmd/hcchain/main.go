@@ -56,6 +56,7 @@ import (
 	"hashcore/internal/pool"
 	"hashcore/internal/pow"
 	"hashcore/internal/simnet/lab"
+	"hashcore/internal/telemetry"
 	"hashcore/internal/vm"
 )
 
@@ -75,6 +76,7 @@ func main() {
 	msgRate := flag.Float64("msg-rate", 0, "per-peer inbound messages/sec before disconnect (0 = default 500, negative disables)")
 	simnetScenario := flag.String("simnet", "", "run a network-lab scenario instead of a node (see -simnet list)")
 	simnetNodes := flag.Int("simnet-nodes", 0, "cluster size for -simnet (0 = scenario default)")
+	metricsAddr := flag.String("metrics-addr", "", "debug HTTP listen address: /metrics, /events, /healthz, pprof (networked mode; empty disables)")
 	flag.Parse()
 
 	if *simnetScenario != "" {
@@ -98,7 +100,7 @@ func main() {
 
 	if err := runDaemon(*blocks, *profileName, *datadir, *listen, *connect, *network,
 		*zeroBits, *fsyncBatch, *fsyncInterval, *workers,
-		*banThreshold, *banDuration, *msgRate); err != nil {
+		*banThreshold, *banDuration, *msgRate, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "hcchain:", err)
 		os.Exit(1)
 	}
@@ -132,7 +134,7 @@ func runSimnet(name string, nodes int) error {
 
 // openStore opens the persistent block log (nil store when datadir is
 // empty), honoring the group-commit flags.
-func openStore(datadir string, fsyncBatch int, fsyncInterval time.Duration) (blockchain.Store, *blockchain.FileStore, error) {
+func openStore(datadir string, fsyncBatch int, fsyncInterval time.Duration, reg *telemetry.Registry) (blockchain.Store, *blockchain.FileStore, error) {
 	if datadir == "" {
 		return nil, nil, nil
 	}
@@ -142,6 +144,7 @@ func openStore(datadir string, fsyncBatch int, fsyncInterval time.Duration) (blo
 	fs, err := blockchain.OpenFileStoreWith(filepath.Join(datadir, "blocks.log"), blockchain.FileStoreOptions{
 		BatchAppends: fsyncBatch,
 		BatchDelay:   fsyncInterval,
+		Metrics:      reg,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -151,27 +154,45 @@ func openStore(datadir string, fsyncBatch int, fsyncInterval time.Duration) (blo
 
 func runDaemon(blocks int, profileName, datadir, listen, connect, network string,
 	zeroBits uint, fsyncBatch int, fsyncInterval time.Duration, workers int,
-	banThreshold int, banDuration time.Duration, msgRate float64) error {
-	h, err := hashcore.New(hashcore.WithProfile(profileName))
+	banThreshold int, banDuration time.Duration, msgRate float64, metricsAddr string) error {
+	// One registry and journal feed every layer; the debug server (when
+	// enabled) exposes them at /metrics and /events.
+	var reg *telemetry.Registry
+	var journal *telemetry.Journal
+	if metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		journal = telemetry.NewJournal(1024)
+	}
+	h, err := hashcore.New(hashcore.WithProfile(profileName), hashcore.WithTelemetry(reg))
 	if err != nil {
 		return err
 	}
 	params := blockchain.DefaultParams()
 	params.GenesisBits = pow.TargetToCompact(pow.Target(hashcore.TargetWithZeroBits(zeroBits)))
 
-	store, fs, err := openStore(datadir, fsyncBatch, fsyncInterval)
+	store, fs, err := openStore(datadir, fsyncBatch, fsyncInterval, reg)
 	if err != nil {
 		return err
 	}
 	node, err := blockchain.OpenNode(blockchain.NodeConfig{
-		Params: params,
-		Hasher: h,
-		Store:  store,
+		Params:  params,
+		Hasher:  h,
+		Store:   store,
+		Metrics: reg,
+		Journal: journal,
 	})
 	if err != nil {
 		return err
 	}
 	defer node.Close()
+	if metricsAddr != "" {
+		dbg, err := telemetry.Serve(metricsAddr, reg, journal, node.Err)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		defer dbg.Close()
+		log.Printf("hcchain: debug server on http://%s (/metrics /events /healthz /debug/pprof)", dbg.Addr())
+	}
 	if fs != nil {
 		if fs.RecoveredTruncation() {
 			log.Printf("hcchain: block log had a damaged tail record (crash mid-append?); dropped it")
@@ -189,6 +210,8 @@ func runDaemon(blocks int, profileName, datadir, listen, connect, network string
 		BanThreshold: banThreshold,
 		BanDuration:  banDuration,
 		MsgRate:      msgRate,
+		Metrics:      reg,
+		Journal:      journal,
 	})
 	if err != nil {
 		return err

@@ -22,6 +22,7 @@ import (
 
 	"hashcore"
 	"hashcore/internal/pool"
+	"hashcore/internal/telemetry"
 )
 
 func main() {
@@ -30,18 +31,31 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "mining worker goroutines")
 	profileName := flag.String("profile", "leela", "reference workload profile")
 	quiet := flag.Bool("quiet", false, "suppress per-share output")
+	metricsAddr := flag.String("metrics-addr", "", "debug HTTP listen address: /metrics, /events, /healthz, pprof (empty disables)")
 	flag.Parse()
 
-	if err := run(*poolAddr, *name, *profileName, *workers, *quiet); err != nil {
+	if err := run(*poolAddr, *name, *profileName, *metricsAddr, *workers, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "hcminer:", err)
 		os.Exit(1)
 	}
 }
 
-func run(poolAddr, name, profileName string, workers int, quiet bool) error {
-	h, err := hashcore.New(hashcore.WithProfile(profileName))
+func run(poolAddr, name, profileName, metricsAddr string, workers int, quiet bool) error {
+	var reg *telemetry.Registry
+	if metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+	h, err := hashcore.New(hashcore.WithProfile(profileName), hashcore.WithTelemetry(reg))
 	if err != nil {
 		return err
+	}
+	if metricsAddr != "" {
+		dbg, err := telemetry.Serve(metricsAddr, reg, nil, nil)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("hcminer: debug server on http://%s (/metrics /healthz /debug/pprof)\n", dbg.Addr())
 	}
 
 	cfg := pool.ClientConfig{

@@ -37,6 +37,7 @@ import (
 	"hashcore/internal/p2p"
 	"hashcore/internal/pool"
 	"hashcore/internal/pow"
+	"hashcore/internal/telemetry"
 )
 
 func main() {
@@ -54,9 +55,10 @@ func main() {
 	listen := flag.String("listen", "", "p2p listen address (joins the block network)")
 	connect := flag.String("connect", "", "comma-separated p2p peer addresses to keep sessions with")
 	network := flag.String("network", "hashcore", "p2p network name pinned in handshakes")
+	metricsAddr := flag.String("metrics-addr", "", "debug HTTP listen address: /metrics, /events, /healthz, pprof (empty disables)")
 	flag.Parse()
 
-	if err := run(*addr, *httpAddr, *profileName, *name, *datadir, *listen, *connect, *network,
+	if err := run(*addr, *httpAddr, *profileName, *name, *datadir, *listen, *connect, *network, *metricsAddr,
 		uint(*shareZeroBits), uint(*blockZeroBits),
 		*verifyWorkers, *queueDepth, *rangeSize, *refresh); err != nil {
 		fmt.Fprintln(os.Stderr, "hcpoold:", err)
@@ -64,10 +66,16 @@ func main() {
 	}
 }
 
-func run(addr, httpAddr, profileName, name, datadir, listen, connect, network string,
+func run(addr, httpAddr, profileName, name, datadir, listen, connect, network, metricsAddr string,
 	shareZeroBits, blockZeroBits uint,
 	verifyWorkers, queueDepth int, rangeSize uint64, refresh time.Duration) error {
-	h, err := hashcore.New(hashcore.WithProfile(profileName))
+	var reg *telemetry.Registry
+	var journal *telemetry.Journal
+	if metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		journal = telemetry.NewJournal(1024)
+	}
+	h, err := hashcore.New(hashcore.WithProfile(profileName), hashcore.WithTelemetry(reg))
 	if err != nil {
 		return err
 	}
@@ -87,14 +95,24 @@ func run(addr, httpAddr, profileName, name, datadir, listen, connect, network st
 		store = fs
 	}
 	node, err := blockchain.OpenNode(blockchain.NodeConfig{
-		Params: params,
-		Hasher: h,
-		Store:  store,
+		Params:  params,
+		Hasher:  h,
+		Store:   store,
+		Metrics: reg,
+		Journal: journal,
 	})
 	if err != nil {
 		return err
 	}
 	defer node.Close()
+	if metricsAddr != "" {
+		dbg, err := telemetry.Serve(metricsAddr, reg, journal, node.Err)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		defer dbg.Close()
+		fmt.Printf("hcpoold: debug server on http://%s (/metrics /events /healthz /debug/pprof)\n", dbg.Addr())
+	}
 	if fs != nil {
 		if fs.RecoveredTruncation() {
 			fmt.Println("hcpoold: block log had a damaged tail record (crash mid-append?); dropped it")
@@ -108,7 +126,14 @@ func run(addr, httpAddr, profileName, name, datadir, listen, connect, network st
 	// already be templated off a synced tip.
 	var mgr *p2p.Manager
 	if listen != "" || connect != "" {
-		mgr, err = p2p.StartNetwork(node, network, "hcpoold/1", listen, connect)
+		mgr, err = p2p.StartNetworkCfg(p2p.Config{
+			Node:       node,
+			Network:    network,
+			Agent:      "hcpoold/1",
+			ListenAddr: listen,
+			Metrics:    reg,
+			Journal:    journal,
+		}, connect)
 		if err != nil {
 			return err
 		}
@@ -126,6 +151,7 @@ func run(addr, httpAddr, profileName, name, datadir, listen, connect, network st
 		VerifyWorkers:   verifyWorkers,
 		QueueDepth:      queueDepth,
 		RefreshInterval: refresh,
+		Metrics:         reg,
 	}, pool.WrapHasher(h), pool.NewChainSource(node, name))
 	if err != nil {
 		return err

@@ -39,6 +39,7 @@ import (
 	"hashcore/internal/perfprox"
 	"hashcore/internal/pow"
 	"hashcore/internal/profile"
+	"hashcore/internal/telemetry"
 	"hashcore/internal/vm"
 	"hashcore/internal/workload"
 )
@@ -58,6 +59,7 @@ type config struct {
 	snapshot    uint64
 	noise       float64
 	loopTrips   int
+	metrics     *telemetry.Registry
 }
 
 // Option configures New.
@@ -145,6 +147,20 @@ func WithLoopTrips(trips int) Option {
 	}
 }
 
+// WithTelemetry instruments every hash through reg: latency histograms
+// (end-to-end plus the gen/exec phase split), retired-instruction and
+// fusion-ratio counters — the hashcore_* metric family (DESIGN.md §12).
+// The record path is allocation-free and adds only clock reads and
+// atomic updates, so hashing throughput is unaffected within noise
+// (hcbench's telemetry target measures the delta). A nil reg disables
+// instrumentation (the default).
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *config) error {
+		c.metrics = reg
+		return nil
+	}
+}
+
 // Hasher is an instantiated HashCore function. It is immutable and safe
 // for concurrent use, and satisfies the PoW-hasher shape used by Mine.
 type Hasher struct {
@@ -178,6 +194,7 @@ func New(opts ...Option) (*Hasher, error) {
 		VMParams:          vm.Params{SnapshotInterval: cfg.snapshot},
 		Widgets:           cfg.widgets,
 		UseSourcePipeline: cfg.sourcePath,
+		Metrics:           cfg.metrics,
 	})
 	if err != nil {
 		return nil, err

@@ -10,6 +10,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"hashcore/internal/telemetry"
 )
 
 // fileMagic identifies a block-log file and pins its format version.
@@ -42,6 +44,10 @@ type FileStoreOptions struct {
 	// background flush. Default DefaultBatchDelay when group commit is
 	// on.
 	BatchDelay time.Duration
+	// Metrics, when non-nil, registers the chain_store_* instruments:
+	// append and fsync latency histograms plus the group-commit batch
+	// size distribution.
+	Metrics *telemetry.Registry
 }
 
 // DefaultBatchDelay is the group-commit flush deadline when
@@ -69,6 +75,7 @@ const DefaultBatchDelay = 50 * time.Millisecond
 type FileStore struct {
 	path string
 	opts FileStoreOptions
+	met  *storeMetrics // nil when telemetry is disabled
 
 	mu      sync.Mutex // guards f, off, index, load and flush state
 	f       *os.File
@@ -100,7 +107,7 @@ func OpenFileStoreWith(path string, opts FileStoreOptions) (*FileStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("blockchain: opening block log: %w", err)
 	}
-	fs := &FileStore{path: path, opts: opts, f: f}
+	fs := &FileStore{path: path, opts: opts, f: f, met: newStoreMetrics(opts.Metrics)}
 	info, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -223,6 +230,10 @@ func (fs *FileStore) Append(b Block) error {
 		return fs.syncErr
 	}
 	payload := MarshalBlock(b)
+	var t0 time.Time
+	if fs.met != nil {
+		t0 = time.Now()
+	}
 	rec := make([]byte, 0, 4+len(payload)+4)
 	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
 	rec = append(rec, payload...)
@@ -230,13 +241,23 @@ func (fs *FileStore) Append(b Block) error {
 	if _, err := fs.f.WriteAt(rec, fs.off); err != nil {
 		return fmt.Errorf("blockchain: appending block record: %w", err)
 	}
+	if fs.met != nil {
+		fs.met.appendSeconds.ObserveSince(t0)
+	}
 	fs.offsets = append(fs.offsets, fs.off)
 	fs.sizes = append(fs.sizes, int64(len(rec)))
 	fs.off += int64(len(rec))
 
 	if fs.opts.BatchAppends <= 1 {
+		if fs.met != nil {
+			t0 = time.Now()
+		}
 		if err := fs.f.Sync(); err != nil {
 			return fmt.Errorf("blockchain: syncing block log: %w", err)
+		}
+		if fs.met != nil {
+			fs.met.fsyncSeconds.ObserveSince(t0)
+			fs.met.batchSize.Observe(1)
 		}
 		return nil
 	}
@@ -262,13 +283,22 @@ func (fs *FileStore) flushLocked() error {
 	if fs.pending == 0 {
 		return fs.syncErr
 	}
+	batch := fs.pending
 	fs.pending = 0
+	var t0 time.Time
+	if fs.met != nil {
+		t0 = time.Now()
+	}
 	if err := fs.f.Sync(); err != nil {
 		err = fmt.Errorf("blockchain: syncing block log: %w", err)
 		if fs.syncErr == nil {
 			fs.syncErr = err
 		}
 		return err
+	}
+	if fs.met != nil {
+		fs.met.fsyncSeconds.ObserveSince(t0)
+		fs.met.batchSize.Observe(float64(batch))
 	}
 	return nil
 }

@@ -1,0 +1,73 @@
+package blockchain
+
+import (
+	"math/big"
+
+	"hashcore/internal/telemetry"
+)
+
+// nodeMetrics is the consensus layer's instrument set, resolved once in
+// OpenNode. Nil (no registry configured) disables everything at the
+// cost of one branch per accept.
+type nodeMetrics struct {
+	accepted   *telemetry.Counter
+	reorgs     *telemetry.Counter
+	reorgDepth *telemetry.Histogram
+	storeHalts *telemetry.Counter
+}
+
+// registerNodeMetrics resolves the counters and hangs the read-side
+// gauges (tip height, total work, orphan occupancy) off the node's own
+// snapshot accessors — they are computed at scrape time, not maintained.
+func registerNodeMetrics(reg *telemetry.Registry, n *Node) *nodeMetrics {
+	if reg == nil {
+		return nil
+	}
+	reg.GaugeFunc("chain_tip_height",
+		"Height of the best block.",
+		func() float64 { return float64(n.Height()) })
+	reg.GaugeFunc("chain_total_work",
+		"Accumulated expected work of the best chain.",
+		func() float64 {
+			f, _ := new(big.Float).SetInt(n.TotalWork()).Float64()
+			return f
+		})
+	reg.GaugeFunc("chain_orphans",
+		"Blocks parked in the orphan pool.",
+		func() float64 { return float64(n.OrphanCount()) })
+	return &nodeMetrics{
+		accepted: reg.Counter("chain_blocks_accepted_total",
+			"Blocks validated, connected and persisted."),
+		reorgs: reg.Counter("chain_reorgs_total",
+			"Best-chain switches away from the previous tip's branch."),
+		reorgDepth: reg.Histogram("chain_reorg_depth",
+			"Blocks abandoned from the old best chain per reorg.",
+			telemetry.SizeBuckets),
+		storeHalts: reg.Counter("chain_store_halts_total",
+			"Store append failures that latched the node halt."),
+	}
+}
+
+// storeMetrics instruments the block log's write path.
+type storeMetrics struct {
+	appendSeconds *telemetry.Histogram
+	fsyncSeconds  *telemetry.Histogram
+	batchSize     *telemetry.Histogram
+}
+
+func newStoreMetrics(reg *telemetry.Registry) *storeMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &storeMetrics{
+		appendSeconds: reg.Histogram("chain_store_append_seconds",
+			"Block-record write latency (framing + WriteAt, excluding fsync).",
+			telemetry.IOLatencyBuckets),
+		fsyncSeconds: reg.Histogram("chain_store_fsync_seconds",
+			"Block-log fsync latency.",
+			telemetry.IOLatencyBuckets),
+		batchSize: reg.Histogram("chain_store_commit_batch_size",
+			"Records made durable per fsync (1 unless group commit).",
+			telemetry.SizeBuckets),
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"hashcore/internal/pow"
+	"hashcore/internal/telemetry"
 )
 
 // NodeConfig parameterizes OpenNode. Zero values select the documented
@@ -26,6 +27,13 @@ type NodeConfig struct {
 	// single peer spraying fabricated orphans can only ever evict its
 	// own. Default MaxOrphans/4 (min 1).
 	MaxOrphansPerPeer int
+	// Metrics, when non-nil, registers the chain_* instrument family:
+	// tip height/total-work/orphan gauges, accept and reorg counters,
+	// and the reorg-depth histogram. Replayed blocks do not count.
+	Metrics *telemetry.Registry
+	// Journal, when non-nil, receives the node's structured events:
+	// tip moves, reorgs (with depth) and store halts.
+	Journal *telemetry.Journal
 }
 
 // DefaultMaxOrphans is the orphan-pool bound when NodeConfig leaves it
@@ -63,6 +71,8 @@ type Node struct {
 
 	replaying bool // true only inside OpenNode's store replay
 	replayed  int
+	met       *nodeMetrics       // nil when telemetry is disabled
+	journal   *telemetry.Journal // nil-safe; events for the debug plane
 	// storeErr latches the first Append failure. Once the log has
 	// missed a block, persisting that block's descendants would leave a
 	// permanently unreplayable gap (restart would hit ErrUnknownParent
@@ -120,7 +130,20 @@ func OpenNode(cfg NodeConfig) (*Node, error) {
 		store.Close()
 		return nil, err
 	}
+	// Instruments come online only after replay, so the counters speak
+	// about this process's work, not history (the gauges read live state
+	// either way).
+	n.met = registerNodeMetrics(cfg.Metrics, n)
+	n.journal = cfg.Journal
 	return n, nil
+}
+
+// Err returns the latched store failure that halted block acceptance,
+// or nil while the node is healthy — the daemon /healthz check.
+func (n *Node) Err() error {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.storeErr
 }
 
 // Close releases the backing store. The node must not be used after.
@@ -179,11 +202,29 @@ func (n *Node) AddBlockFrom(b Block, origin string) (Hash, error) {
 	// The tip may have moved even on the persist-failure path (the
 	// block is connected in memory); subscribers must still hear it.
 	if tip := n.chain.tip; tip != oldTip {
+		reorg := ancestorAt(tip, oldTip.height) != oldTip
+		if reorg {
+			depth := reorgDepth(oldTip, tip)
+			if n.met != nil {
+				n.met.reorgs.Inc()
+				n.met.reorgDepth.Observe(float64(depth))
+			}
+			n.journal.Emit("reorg", map[string]any{
+				"height": tip.height,
+				"depth":  depth,
+				"tip":    fmt.Sprintf("%x", tip.id[:8]),
+			})
+		} else {
+			n.journal.Emit("tip", map[string]any{
+				"height": tip.height,
+				"tip":    fmt.Sprintf("%x", tip.id[:8]),
+			})
+		}
 		n.feed.publish(TipEvent{
 			OldTip: oldTip.id,
 			NewTip: tip.id,
 			Height: tip.height,
-			Reorg:  ancestorAt(tip, oldTip.height) != oldTip,
+			Reorg:  reorg,
 		})
 	}
 	return id, perr
@@ -198,6 +239,10 @@ func (n *Node) persist(b Block) error {
 	}
 	if err := n.store.Append(b); err != nil {
 		n.storeErr = fmt.Errorf("blockchain: persisting block: %w (node halted to keep the log replayable)", err)
+		if n.met != nil {
+			n.met.storeHalts.Inc()
+		}
+		n.journal.Emit("store_halt", map[string]any{"error": err.Error()})
 		return n.storeErr
 	}
 	return nil
@@ -214,6 +259,9 @@ func (n *Node) recordBody(id Hash, b Block) {
 		n.bodies[id] = b
 	}
 	n.appended++
+	if !n.replaying && n.met != nil {
+		n.met.accepted.Inc()
+	}
 }
 
 // connectOrphans walks the orphan pool connecting every parked block
@@ -433,6 +481,20 @@ func ancestorAt(n *node, height int) *node {
 		n = n.parent
 	}
 	return n
+}
+
+// reorgDepth counts the old-best-chain blocks abandoned when the tip
+// moved from oldTip to newTip: the distance from oldTip back to the two
+// branches' common ancestor.
+func reorgDepth(oldTip, newTip *node) int {
+	fork := oldTip
+	for fork != nil && ancestorAt(newTip, fork.height) != fork {
+		fork = fork.parent
+	}
+	if fork == nil {
+		return oldTip.height + 1
+	}
+	return oldTip.height - fork.height
 }
 
 // Read accessors: each takes one consistent read-snapshot.

@@ -22,6 +22,7 @@ import (
 	"hashcore/internal/perfprox"
 	"hashcore/internal/profile"
 	"hashcore/internal/prog"
+	"hashcore/internal/telemetry"
 	"hashcore/internal/vm"
 )
 
@@ -53,6 +54,12 @@ type Options struct {
 	// results (property-tested) so this is purely a fidelity/speed
 	// trade-off.
 	UseSourcePipeline bool
+	// Metrics, when non-nil, instruments every hash through this
+	// registry: latency histograms (total and gen/exec split), retired
+	// instructions, and static fusion-ratio counters. The record path
+	// is allocation-free and costs a few clock reads and atomic adds
+	// per hash, so enabling it does not perturb throughput measurably.
+	Metrics *telemetry.Registry
 }
 
 // Func is an instantiated HashCore PoW function. Its configuration is
@@ -66,6 +73,7 @@ type Func struct {
 	vparams vm.Params
 	widgets int
 	useSrc  bool
+	met     *hashMetrics // nil when telemetry is disabled
 
 	sessions sync.Pool // of *Session
 }
@@ -99,6 +107,7 @@ func New(opts Options) (*Func, error) {
 		vparams: opts.VMParams,
 		widgets: widgets,
 		useSrc:  opts.UseSourcePipeline,
+		met:     newHashMetrics(opts.Metrics),
 	}
 	f.sessions.New = func() any { return f.NewSession() }
 	return f, nil

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"time"
+
+	"hashcore/internal/telemetry"
+)
+
+// hashMetrics is the hashing hot loop's instrument set, resolved once at
+// Func construction. All fields are nil-safe, so a Func built without a
+// registry carries a nil *hashMetrics and pays a single predictable
+// branch per hash.
+type hashMetrics struct {
+	// hashSeconds is the end-to-end H(x) latency; genSeconds/execSeconds
+	// split the widget pipeline along the PhaseTimings boundary
+	// (generation vs VM load+run; the gate is the remainder).
+	hashSeconds *telemetry.Histogram
+	genSeconds  *telemetry.Histogram
+	execSeconds *telemetry.Histogram
+	// retired counts executed widget instructions (architectural).
+	retired *telemetry.Counter
+	// archInstrs/fusedInstrs accumulate the static stream lengths of
+	// every loaded widget; fused/arch is the superinstruction fusion
+	// ratio (1.0 = no fusion benefit).
+	archInstrs  *telemetry.Counter
+	fusedInstrs *telemetry.Counter
+}
+
+// newHashMetrics resolves the instrument set against reg (nil reg = nil
+// metrics = disabled).
+func newHashMetrics(reg *telemetry.Registry) *hashMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &hashMetrics{
+		hashSeconds: reg.Histogram("hashcore_hash_seconds",
+			"End-to-end HashCore hash latency.", telemetry.HashLatencyBuckets),
+		genSeconds: reg.Histogram("hashcore_hash_phase_seconds",
+			"Per-hash widget pipeline latency split by phase.",
+			telemetry.HashLatencyBuckets, telemetry.Label{Key: "phase", Value: "gen"}),
+		execSeconds: reg.Histogram("hashcore_hash_phase_seconds",
+			"Per-hash widget pipeline latency split by phase.",
+			telemetry.HashLatencyBuckets, telemetry.Label{Key: "phase", Value: "exec"}),
+		retired: reg.Counter("hashcore_retired_instructions_total",
+			"Widget instructions retired by the VM."),
+		archInstrs: reg.Counter("hashcore_vm_instructions_total",
+			"Static instruction-stream lengths of loaded widgets.",
+			telemetry.Label{Key: "stream", Value: "arch"}),
+		fusedInstrs: reg.Counter("hashcore_vm_instructions_total",
+			"Static instruction-stream lengths of loaded widgets.",
+			telemetry.Label{Key: "stream", Value: "fused"}),
+	}
+}
+
+// observeHash records one successful hash: total wall time plus the
+// gen/exec split and retired-instruction delta accumulated in t since
+// the (genNs, execNs, retired) baseline captured at the start of the
+// call. Allocation-free.
+func (hm *hashMetrics) observeHash(start time.Time, t *PhaseTimings, genNs, execNs int64, retired uint64) {
+	hm.hashSeconds.Observe(time.Since(start).Seconds())
+	hm.genSeconds.Observe(float64(t.GenNs-genNs) / 1e9)
+	hm.execSeconds.Observe(float64(t.ExecNs-execNs) / 1e9)
+	hm.retired.Add(t.Retired - retired)
+}

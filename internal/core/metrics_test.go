@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"hashcore/internal/telemetry"
+	"hashcore/internal/workload"
+)
+
+func newMetricFunc(t *testing.T, reg *telemetry.Registry) *Func {
+	t.Helper()
+	w, err := workload.ByName("leela")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(Options{Profile: w.Profile, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// Telemetry must not change digests: the instrumented path wraps the
+// same pipeline.
+func TestMetricsDigestsUnchanged(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	plain := newMetricFunc(t, nil)
+	instr := newMetricFunc(t, reg)
+	for _, in := range []string{"", "a", "hashcore block header"} {
+		a, err := plain.Hash([]byte(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := instr.Hash([]byte(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("digest mismatch for %q with telemetry enabled", in)
+		}
+	}
+}
+
+// Every hash must land in the histograms and counters.
+func TestMetricsRecorded(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	f := newMetricFunc(t, reg)
+	const n = 3
+	for i := 0; i < n; i++ {
+		if _, err := f.Hash([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, _ := reg.Value("hashcore_hash_seconds"); got != n {
+		t.Fatalf("hashcore_hash_seconds count = %v, want %d", got, n)
+	}
+	// The phase histogram carries both label sets; Value sums their
+	// counts (one gen + one exec observation per hash).
+	if got, _ := reg.Value("hashcore_hash_phase_seconds"); got != 2*n {
+		t.Fatalf("hashcore_hash_phase_seconds count = %v, want %d", got, 2*n)
+	}
+	if got, _ := reg.Value("hashcore_retired_instructions_total"); got <= 0 {
+		t.Fatalf("retired instructions = %v", got)
+	}
+	arch, _ := reg.Value("hashcore_vm_instructions_total")
+	if arch <= 0 {
+		t.Fatalf("vm instruction streams = %v", arch)
+	}
+}
+
+// The acceptance criterion: hashing with telemetry enabled must stay
+// zero-allocation in the steady state, same as without.
+func TestSessionHashZeroAllocWithTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	f := newMetricFunc(t, reg)
+	s := f.NewSession()
+	input := []byte("alloc probe")
+	// Warm up to high-water buffer capacity.
+	for i := 0; i < 8; i++ {
+		if _, err := s.Hash(input); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := testing.AllocsPerRun(16, func() {
+		if _, err := s.Hash(input); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("instrumented Session.Hash allocates %v/op, want 0", n)
+	}
+}

@@ -72,8 +72,27 @@ func (s *Session) HashTimed(input []byte, t *PhaseTimings) (Digest, error) {
 
 // hash runs the full pipeline: s = G(x), then widgets chained through the
 // gate. obs may be nil (the VM then takes its specialized unobserved
-// loop); t may be nil (no timing instrumentation).
+// loop); t may be nil (no timing instrumentation — unless the Func has
+// telemetry enabled, in which case a stack-local PhaseTimings keeps the
+// per-phase clocks running so the histograms can observe the split).
 func (s *Session) hash(input []byte, obs vm.Observer, t *PhaseTimings) (Digest, error) {
+	if met := s.f.met; met != nil {
+		var local PhaseTimings
+		if t == nil {
+			t = &local
+		}
+		start := time.Now()
+		genNs, execNs, retired := t.GenNs, t.ExecNs, t.Retired
+		d, err := s.hashInner(input, obs, t)
+		if err == nil {
+			met.observeHash(start, t, genNs, execNs, retired)
+		}
+		return d, err
+	}
+	return s.hashInner(input, obs, t)
+}
+
+func (s *Session) hashInner(input []byte, obs vm.Observer, t *PhaseTimings) (Digest, error) {
 	f := s.f
 	seed := f.gate.Sum(input)
 	for i := 0; i < f.widgets; i++ {
@@ -126,6 +145,11 @@ func (s *Session) runWidget(seed perfprox.Seed, obs vm.Observer, t *PhaseTimings
 		// The builder validated the program during BuildInto; skip the
 		// VM's second structural pass.
 		s.m.LoadTrusted(widget)
+	}
+	if met := f.met; met != nil {
+		arch, fused := s.m.CodeSize()
+		met.archInstrs.Add(uint64(arch))
+		met.fusedInstrs.Add(uint64(fused))
 	}
 	s.m.RunInto(f.vparams, obs, &s.res)
 	if t != nil {

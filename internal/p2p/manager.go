@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hashcore/internal/blockchain"
+	"hashcore/internal/telemetry"
 	"hashcore/internal/wire"
 )
 
@@ -88,6 +89,14 @@ type Config struct {
 	Listen func(addr string) (net.Listener, error)
 	// Logf receives manager events; nil means log.Printf.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, registers the p2p_* instrument family:
+	// message/byte/frame counters by direction and type, peer gauges,
+	// handshake failures, rate-limit disconnects, misbehavior points,
+	// bans, and sync progress counters.
+	Metrics *telemetry.Registry
+	// Journal, when non-nil, receives peer lifecycle events: connects,
+	// disconnects, and bans.
+	Journal *telemetry.Journal
 }
 
 func (c *Config) fillDefaults() error {
@@ -181,6 +190,9 @@ type Manager struct {
 	node    *blockchain.Node
 	genesis string // hex, pinned in handshakes
 	scores  *scoreboard
+	met     *p2pMetrics        // nil when telemetry is disabled
+	journal *telemetry.Journal // nil-safe
+	tally   *wire.ConnTally    // shared byte/frame accounting for all sessions
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -198,12 +210,18 @@ type Manager struct {
 // manager on node, start it, and keep a persistent session to every
 // address in the comma-separated connect list.
 func StartNetwork(node *blockchain.Node, network, agent, listen, connectCSV string) (*Manager, error) {
-	m, err := New(Config{
+	return StartNetworkCfg(Config{
 		Node:       node,
 		Network:    network,
 		Agent:      agent,
 		ListenAddr: listen,
-	})
+	}, connectCSV)
+}
+
+// StartNetworkCfg is StartNetwork for daemons that need the full Config
+// (telemetry registry, hardening knobs) rather than the shorthand.
+func StartNetworkCfg(cfg Config, connectCSV string) (*Manager, error) {
+	m, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -223,14 +241,32 @@ func New(cfg Config) (*Manager, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	return &Manager{
+	m := &Manager{
 		cfg:     cfg,
 		node:    cfg.Node,
 		genesis: hashToHex(cfg.Node.GenesisID()),
 		scores:  newScoreboard(cfg.BanThreshold, cfg.BanDuration, cfg.ScoreHalfLife),
 		peers:   make(map[*peer]struct{}),
 		quit:    make(chan struct{}),
-	}, nil
+		journal: cfg.Journal,
+		tally:   &wire.ConnTally{},
+	}
+	m.met = registerP2PMetrics(cfg.Metrics, m)
+	return m, nil
+}
+
+// countPeers counts live sessions in one direction (the p2p_peers
+// gauge).
+func (m *Manager) countPeers(inbound bool) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for p := range m.peers {
+		if p.inbound == inbound {
+			n++
+		}
+	}
+	return n
 }
 
 // Start binds the listener (when configured) and starts the tip
@@ -427,6 +463,7 @@ func (m *Manager) runPeer(nc net.Conn, name string, inbound bool) error {
 		Conn: wire.ConnConfig{
 			MaxLine:      MaxLineBytes,
 			WriteTimeout: m.cfg.WriteTimeout,
+			Tally:        m.tally,
 		},
 		PingInterval:     m.cfg.PingInterval,
 		HandshakeTimeout: m.cfg.HandshakeTimeout,
@@ -439,11 +476,13 @@ func (m *Manager) runPeer(nc net.Conn, name string, inbound bool) error {
 	}
 	if err != nil {
 		wp.Close()
+		m.met.handshakeFailure()
 		m.penalize(host, PointsHandshake, err)
 		return err
 	}
 	if remote.Network != m.cfg.Network || remote.Genesis != m.genesis {
 		wp.Close()
+		m.met.handshakeFailure()
 		m.penalize(host, PointsHandshake, "wrong network or genesis")
 		return fmt.Errorf("p2p: peer %s is on network %q genesis %.8s…, want %q %.8s…",
 			name, remote.Network, remote.Genesis, m.cfg.Network, m.genesis)
@@ -456,14 +495,25 @@ func (m *Manager) runPeer(nc net.Conn, name string, inbound bool) error {
 	}
 	defer m.removePeer(p)
 	m.cfg.Logf("p2p: peer %s connected (agent %q, height %d)", name, remote.Agent, remote.Height)
+	m.journal.Emit("peer_connect", map[string]any{
+		"peer": name, "inbound": inbound, "agent": remote.Agent,
+	})
 
 	// Kick off sync immediately: the remote may be ahead of us right
 	// now, and if it is behind, the empty page costs one round trip.
 	p.triggerSync()
 	err = wp.Run(p.handle)
+	if errors.Is(err, wire.ErrRateLimited) {
+		m.met.rateLimited()
+	}
 	if pts := violationPoints(err); pts > 0 {
 		m.penalize(host, pts, err)
 	}
+	reason := ""
+	if err != nil {
+		reason = err.Error()
+	}
+	m.journal.Emit("peer_disconnect", map[string]any{"peer": name, "reason": reason})
 	return err
 }
 
@@ -493,11 +543,16 @@ func (m *Manager) penalize(host string, points int, reason any) bool {
 		return false
 	}
 	score, banned := m.scores.add(host, points, time.Now())
+	m.met.penalized(points)
 	if !banned {
 		m.cfg.Logf("p2p: host %s penalized +%d (score %.0f): %v", host, points, score, reason)
 		return false
 	}
 	m.cfg.Logf("p2p: host %s BANNED for %s (score %.0f): %v", host, m.cfg.BanDuration, score, reason)
+	m.met.banned()
+	m.journal.Emit("ban", map[string]any{
+		"host": host, "score": score, "for": m.cfg.BanDuration.String(),
+	})
 	for _, p := range m.snapshotPeers() {
 		if p.host == host {
 			p.wp.Close()

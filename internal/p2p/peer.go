@@ -105,7 +105,14 @@ func (p *peer) shutdown() {
 // sendInv announces a tip, best-effort (a failed write ends the session
 // through the read loop soon enough).
 func (p *peer) sendInv(inv InvMsg) {
-	_ = p.wp.Send(TypeInv, inv)
+	_ = p.send(TypeInv, inv)
+}
+
+// send is the peer's single outbound seam: every protocol write goes
+// through it so the per-type message counters see each frame.
+func (p *peer) send(typ string, v any) error {
+	p.m.met.msgOut(typ)
+	return p.wp.Send(typ, v)
 }
 
 // handle dispatches one protocol message. Returning an error drops the
@@ -113,6 +120,7 @@ func (p *peer) sendInv(inv InvMsg) {
 // payloads and invalid blocks, and the outbound dialer's backoff makes
 // it cheap to be strict.
 func (p *peer) handle(env wire.Envelope) error {
+	p.m.met.msgIn(env.Type)
 	switch env.Type {
 	case TypeInv:
 		var msg InvMsg
@@ -191,7 +199,7 @@ func (p *peer) handleGetHeaders(msg GetHeadersMsg) error {
 			Header: hex.EncodeToString(ah.Header.Marshal()),
 		}
 	}
-	return p.wp.Send(TypeHeaders, reply)
+	return p.send(TypeHeaders, reply)
 }
 
 // handleGetBlocks serves full blocks by id, bounded by count and bytes.
@@ -217,7 +225,7 @@ func (p *peer) handleGetBlocks(msg GetBlocksMsg) error {
 		}
 		reply.Blocks = append(reply.Blocks, hex.EncodeToString(raw))
 	}
-	return p.wp.Send(TypeBlocks, reply)
+	return p.send(TypeBlocks, reply)
 }
 
 // ---- requesting side (the sync engine) ----------------------------
@@ -235,6 +243,7 @@ func (p *peer) triggerSync() {
 		p.mu.Unlock()
 		return
 	}
+	p.m.met.syncRound()
 	err := p.requestHeadersLocked()
 	p.mu.Unlock()
 	if err != nil {
@@ -256,7 +265,7 @@ func (p *peer) requestHeadersLocked() error {
 	}
 	p.state = syncHeaders
 	p.armTimeoutLocked()
-	return p.wp.Send(TypeGetHeaders, msg)
+	return p.send(TypeGetHeaders, msg)
 }
 
 // requestBlocksLocked sends the next body batch from the want queue.
@@ -273,7 +282,7 @@ func (p *peer) requestBlocksLocked() error {
 	}
 	p.state = syncBlocks
 	p.armTimeoutLocked()
-	return p.wp.Send(TypeGetBlocks, msg)
+	return p.send(TypeGetBlocks, msg)
 }
 
 // advanceLocked moves the state machine after a response: bodies first,
@@ -287,6 +296,7 @@ func (p *peer) advanceLocked() error {
 	case p.retrigger:
 		p.retrigger = false
 		p.anchor = nil
+		p.m.met.syncRound()
 		return p.requestHeadersLocked()
 	default:
 		p.state = syncIdle
@@ -310,6 +320,7 @@ func (p *peer) handleHeaders(msg HeadersMsg) error {
 	if p.state != syncHeaders {
 		return p.unsolicitedLocked("headers")
 	}
+	p.m.met.headers(len(msg.Headers))
 	truncated := false
 	for _, ref := range msg.Headers {
 		id, err := hexToHash(ref.ID)
@@ -415,6 +426,7 @@ func (p *peer) handleBlocks(msg BlocksMsg) error {
 			}
 			return violation(PointsInvalidBlock, "p2p: peer %s sent invalid block: %w", p.name, err)
 		}
+		p.m.met.blockFetched()
 	}
 
 	// Settle the batch by post-state, not by response position: the
@@ -477,6 +489,7 @@ func (p *peer) armTimeoutLocked() {
 		p.anchor = nil
 		p.morePages = false
 		p.retrigger = false
+		p.m.met.syncRound()
 		err := p.requestHeadersLocked()
 		p.mu.Unlock()
 		_ = err

@@ -131,6 +131,26 @@ waitAccept:
 		t.Errorf("miner missing from /stats: %+v", stats.Miners)
 	}
 
+	// The registry behind /stats booked the same traffic: at least one
+	// share judged (with both stage latencies observed) and the one
+	// live miner connection showing on the gauge /stats reads.
+	reg := srv.Metrics()
+	if v, ok := reg.Value("pool_shares_total"); !ok || v < 1 {
+		t.Errorf("pool_shares_total = %v (ok=%v), want >= 1", v, ok)
+	}
+	if v, _ := reg.Value("pool_share_verify_seconds"); v < 1 {
+		t.Errorf("pool_share_verify_seconds observations = %v, want >= 1", v)
+	}
+	if v, _ := reg.Value("pool_share_queue_wait_seconds"); v < 1 {
+		t.Errorf("pool_share_queue_wait_seconds observations = %v, want >= 1", v)
+	}
+	if v, _ := reg.Value("pool_connections"); v != 1 {
+		t.Errorf("pool_connections = %v, want 1", v)
+	}
+	if stats.Connections != 1 {
+		t.Errorf("stats connections = %d, want 1", stats.Connections)
+	}
+
 	// Client statistics saw the same accepted share.
 	if st := client.Stats(); st.Accepted < 1 || st.Jobs < 1 {
 		t.Errorf("client stats = %+v, want >= 1 job and accepted share", st)

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"hashcore/internal/blockchain"
+	"hashcore/internal/telemetry"
 	"hashcore/internal/wire"
 )
 
@@ -54,6 +55,10 @@ type Config struct {
 	// WriteTimeout bounds one protocol write to a client, so a stalled
 	// connection cannot block job fan-out. Default 5s.
 	WriteTimeout time.Duration
+	// Metrics receives the pool_* instruments. When nil the server
+	// creates a private registry, so /stats always reads from the same
+	// instrument set regardless of whether telemetry is exported.
+	Metrics *telemetry.Registry
 	// Logf receives server events; nil means log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -99,6 +104,8 @@ type Server struct {
 	seen   *SeenSet
 	acct   *Accounting
 	pipe   *Pipeline
+	reg    *telemetry.Registry
+	met    *poolMetrics
 
 	// watcher is non-nil when src can push tip-change events; the
 	// server then reacts to reorgs and competing blocks with an
@@ -115,7 +122,6 @@ type Server struct {
 	shutdown bool
 
 	connSeq atomic.Uint64
-	blocks  atomic.Uint64
 
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -146,6 +152,14 @@ func NewServer(cfg Config, hasher Hasher, src TemplateSource) (*Server, error) {
 	}
 	validator := NewShareValidator(jm, s.seen, s.acct, s.onBlock)
 	s.pipe = NewPipeline(validator, hasher, cfg.VerifyWorkers, cfg.QueueDepth)
+	s.reg = cfg.Metrics
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
+	}
+	s.met = registerPoolMetrics(s.reg, s)
+	// Safe before the first Submit: workers only touch met while
+	// processing a task, and no task can be queued until Start.
+	s.pipe.met = s.met
 	if _, err := jm.Refresh(true); err != nil {
 		s.pipe.Close()
 		return nil, fmt.Errorf("pool: building initial job: %w", err)
@@ -230,7 +244,18 @@ func (s *Server) Accounting() *Accounting { return s.acct }
 func (s *Server) Jobs() *JobManager { return s.jm }
 
 // Blocks returns how many blocks the pool has solved and submitted.
-func (s *Server) Blocks() uint64 { return s.blocks.Load() }
+func (s *Server) Blocks() uint64 { return s.met.blocks.Value() }
+
+// Metrics returns the registry holding the pool_* instruments — the one
+// from Config.Metrics, or the private registry the server created.
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
+
+// connCount reports the open miner connections (scrape-time gauge).
+func (s *Server) connCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
 
 // Shutdown stops accepting, closes every connection, drains the
 // verification queue and waits for all server goroutines, or returns
@@ -389,7 +414,7 @@ func (s *Server) onBlock(job *Job, digest [32]byte, nonce uint64) {
 		s.cfg.Logf("pool: block at height %d rejected upstream: %v", job.Height, err)
 		return
 	}
-	s.blocks.Add(1)
+	s.met.blocks.Inc()
 	s.cfg.Logf("pool: block solved at height %d (job %s nonce %d digest %x…)",
 		job.Height, job.ID, nonce, digest[:8])
 	if s.watcher != nil {
@@ -418,9 +443,20 @@ func (s *Server) broadcastJob(job *Job) {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	s.met.broadcasts.Inc()
+	start := time.Now()
+	var fan sync.WaitGroup
 	for _, c := range conns {
-		go c.notify(job)
+		fan.Add(1)
+		go func(c *serverConn) {
+			defer fan.Done()
+			c.notify(job)
+		}(c)
 	}
+	go func() {
+		fan.Wait()
+		s.met.fanout.ObserveSince(start)
+	}()
 }
 
 // statsReply is the /stats JSON document.
@@ -439,17 +475,22 @@ type statsReply struct {
 	Miners      []MinerSnapshot `json:"miners"`
 }
 
+// handleStats serves the legacy JSON stats document. Every numeric
+// field with a pool_* instrument is read back from the registry, so
+// /stats and /metrics can never disagree; only the per-miner ledger and
+// job description come from their owning structures.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	nconns := len(s.conns)
-	s.mu.Unlock()
+	regInt := func(name string) int {
+		v, _ := s.reg.Value(name)
+		return int(v)
+	}
 	reply := statsReply{
 		Pool:        s.cfg.PoolName,
 		Hasher:      s.hasher.Name(),
-		Blocks:      s.blocks.Load(),
-		Connections: nconns,
-		QueueDepth:  s.pipe.QueueDepth(),
-		SeenShares:  s.seen.Len(),
+		Blocks:      s.Blocks(),
+		Connections: regInt("pool_connections"),
+		QueueDepth:  regInt("pool_verify_queue_depth"),
+		SeenShares:  regInt("pool_seen_shares"),
 		Totals:      s.acct.Totals(),
 		Miners:      s.acct.Snapshot(),
 	}

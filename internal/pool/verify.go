@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"sync"
+	"time"
 
 	"hashcore/internal/pow"
 )
@@ -97,6 +98,9 @@ type submitTask struct {
 	jobID string
 	nonce uint64
 	reply func(ShareResult)
+	// enq is when Submit queued the task; the queue-wait histogram
+	// observes the gap to worker pickup. Zero when metrics are off.
+	enq time.Time
 }
 
 // ErrPipelineClosed is returned by Submit after Close.
@@ -113,6 +117,11 @@ type Pipeline struct {
 	validator *ShareValidator
 	tasks     chan submitTask
 	wg        sync.WaitGroup
+
+	// met, when non-nil, receives per-share verdict counts and stage
+	// latencies (queue wait, verify time). Attached by the pool server
+	// before any Submit; nil for bare pipelines (tests, benchmarks).
+	met *poolMetrics
 
 	// mu serializes Close (writer) against in-flight Submit sends
 	// (readers), so the channel close can never race a send.
@@ -148,7 +157,15 @@ func (p *Pipeline) worker(sess pow.Hasher) {
 	defer p.wg.Done()
 	hdr := make([]byte, 0, 128)
 	for t := range p.tasks {
+		if p.met != nil {
+			p.met.queueWait.ObserveSince(t.enq)
+		}
+		start := time.Now()
 		res := p.validator.Verify(sess, &hdr, t.miner, t.jobID, t.nonce)
+		if p.met != nil {
+			p.met.verify.ObserveSince(start)
+			p.met.shares[res.Status].Inc()
+		}
 		if t.reply != nil {
 			t.reply(res)
 		}
@@ -165,8 +182,12 @@ func (p *Pipeline) Submit(ctx context.Context, miner, jobID string, nonce uint64
 	if p.closed {
 		return ErrPipelineClosed
 	}
+	task := submitTask{miner: miner, jobID: jobID, nonce: nonce, reply: reply}
+	if p.met != nil {
+		task.enq = time.Now()
+	}
 	select {
-	case p.tasks <- submitTask{miner: miner, jobID: jobID, nonce: nonce, reply: reply}:
+	case p.tasks <- task:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

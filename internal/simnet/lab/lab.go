@@ -23,6 +23,7 @@ import (
 	"hashcore/internal/p2p"
 	"hashcore/internal/pow"
 	"hashcore/internal/simnet"
+	"hashcore/internal/telemetry"
 )
 
 // Options shapes a Cluster. The zero value builds a quiet 3-node ring
@@ -52,12 +53,16 @@ type Options struct {
 }
 
 // Node is one cluster member: a consensus node and its manager, living
-// on its own simnet host.
+// on its own simnet host. Every node carries its own telemetry registry
+// and event journal, so scenarios can assert on the same counters an
+// operator would scrape from a real daemon.
 type Node struct {
-	Name  string
-	Host  *simnet.Host
-	Chain *blockchain.Node
-	Mgr   *p2p.Manager
+	Name    string
+	Host    *simnet.Host
+	Chain   *blockchain.Node
+	Mgr     *p2p.Manager
+	Reg     *telemetry.Registry
+	Journal *telemetry.Journal
 }
 
 // Addr returns the node's listen address on the fabric.
@@ -98,11 +103,15 @@ func New(opts Options) (*Cluster, error) {
 
 	for i := 0; i < opts.Nodes; i++ {
 		name := fmt.Sprintf("n%d", i)
+		reg := telemetry.NewRegistry()
+		journal := telemetry.NewJournal(256)
 		chain, err := blockchain.OpenNode(blockchain.NodeConfig{
 			Params:            c.params,
 			Hasher:            baseline.SHA256d{},
 			MaxOrphans:        opts.MaxOrphans,
 			MaxOrphansPerPeer: opts.MaxOrphansPerPeer,
+			Metrics:           reg,
+			Journal:           journal,
 		})
 		if err != nil {
 			c.Close()
@@ -114,6 +123,8 @@ func New(opts Options) (*Cluster, error) {
 		cfg.ListenAddr = name + ":1"
 		cfg.Dial = host.DialFunc()
 		cfg.Listen = host.ListenFunc()
+		cfg.Metrics = reg
+		cfg.Journal = journal
 		cfg.Logf = func(format string, args ...any) { opts.Logf("["+name+"] "+format, args...) }
 		if cfg.PingInterval == 0 {
 			cfg.PingInterval = -1 // keepalives are noise at lab scale
@@ -138,7 +149,10 @@ func New(opts Options) (*Cluster, error) {
 			c.Close()
 			return nil, fmt.Errorf("lab: node %s: %w", name, err)
 		}
-		c.Nodes = append(c.Nodes, &Node{Name: name, Host: host, Chain: chain, Mgr: mgr})
+		c.Nodes = append(c.Nodes, &Node{
+			Name: name, Host: host, Chain: chain, Mgr: mgr,
+			Reg: reg, Journal: journal,
+		})
 	}
 
 	// Ring plus optional chord: every node keeps persistent outbound
@@ -219,6 +233,33 @@ func (c *Cluster) WaitConverged(want blockchain.Hash, timeout time.Duration) boo
 		time.Sleep(10 * time.Millisecond)
 	}
 	return true
+}
+
+// Metric reads one node's instrument by name, summed across label sets
+// (0 when unregistered) — the scenario-side view of what /metrics would
+// export on that node.
+func (c *Cluster) Metric(i int, name string) float64 {
+	v, _ := c.Nodes[i].Reg.Value(name)
+	return v
+}
+
+// SumMetric totals a metric across the whole cluster.
+func (c *Cluster) SumMetric(name string) float64 {
+	var total float64
+	for i := range c.Nodes {
+		total += c.Metric(i, name)
+	}
+	return total
+}
+
+// MetricsSnapshot gathers every node's full instrument state, keyed by
+// node name — the cluster-wide observability picture at one instant.
+func (c *Cluster) MetricsSnapshot() map[string][]telemetry.Sample {
+	out := make(map[string][]telemetry.Sample, len(c.Nodes))
+	for _, n := range c.Nodes {
+		out[n.Name] = n.Reg.Gather()
+	}
+	return out
 }
 
 // HeaviestTip returns the tip of the node with the most total work

@@ -180,6 +180,15 @@ func runFlood(nodes int, logf func(string, ...any)) (bool, string) {
 	if !waitUntil(30*time.Second, func() bool { return c.Nodes[0].Mgr.Banned("flooder") }) {
 		return false, "flooder was not banned"
 	}
+	// The victim's telemetry must tell the same story an operator would
+	// read off /metrics: rate-limit disconnects and a ban were counted.
+	drops := c.Metric(0, "p2p_ratelimit_disconnects_total")
+	if drops < 1 {
+		return false, fmt.Sprintf("p2p_ratelimit_disconnects_total = %v, want >= 1", drops)
+	}
+	if bans := c.Metric(0, "p2p_bans_total"); bans < 1 {
+		return false, fmt.Sprintf("p2p_bans_total = %v, want >= 1", bans)
+	}
 	tip, err := c.Mine(nodes/2, 3)
 	if err != nil {
 		return false, err.Error()
@@ -187,7 +196,7 @@ func runFlood(nodes int, logf func(string, ...any)) (bool, string) {
 	if !c.WaitConverged(tip, 60*time.Second) {
 		return false, "honest convergence failed after the flood"
 	}
-	return true, fmt.Sprintf("flooder banned after %d invs; honest nodes converged", sent)
+	return true, fmt.Sprintf("flooder banned after %d invs (%.0f rate-limit drops metered); honest nodes converged", sent, drops)
 }
 
 func runEclipse(nodes int, logf func(string, ...any)) (bool, string) {

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured journal entry: a typed fact about the node's
+// life (tip move, reorg, ban, disconnect, store halt) with a small bag
+// of fields. Seq is assigned by the journal and strictly increases, so
+// a reader polling /events can detect both new entries and gaps left by
+// overflow.
+type Event struct {
+	Seq    uint64         `json:"seq"`
+	Time   time.Time      `json:"time"`
+	Type   string         `json:"type"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Journal is a bounded ring buffer of events. When full, the oldest
+// entry is overwritten (drop-oldest) and the dropped counter increments;
+// emitters never block and never fail. A nil *Journal discards
+// everything, so libraries can carry one unconditionally.
+type Journal struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    uint64 // seq of the next event to be written
+	dropped uint64
+}
+
+// NewJournal returns a journal holding at most capacity events
+// (minimum 1).
+func NewJournal(capacity int) *Journal {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Journal{buf: make([]Event, 0, capacity)}
+}
+
+// Emit appends an event. fields may be nil; it is stored as-is (the
+// caller must not mutate it afterwards). Safe for concurrent use.
+func (j *Journal) Emit(typ string, fields map[string]any) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	ev := Event{Seq: j.next, Time: time.Now().UTC(), Type: typ, Fields: fields}
+	if len(j.buf) < cap(j.buf) {
+		j.buf = append(j.buf, ev)
+	} else {
+		// Full: overwrite the oldest slot. The ring's physical index of
+		// the oldest event is next % cap once we have wrapped.
+		j.buf[j.next%uint64(cap(j.buf))] = ev
+		j.dropped++
+	}
+	j.next++
+	j.mu.Unlock()
+}
+
+// Dropped returns how many events have been overwritten.
+func (j *Journal) Dropped() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// Len returns how many events are currently retained.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.buf)
+}
+
+// Events returns the retained events, oldest first. n > 0 limits the
+// result to the newest n.
+func (j *Journal) Events(n int) []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, len(j.buf))
+	if len(j.buf) < cap(j.buf) {
+		out = append(out, j.buf...)
+	} else {
+		// Wrapped: oldest lives at next % cap.
+		start := int(j.next % uint64(cap(j.buf)))
+		out = append(out, j.buf[start:]...)
+		out = append(out, j.buf[:start]...)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// WriteNDJSON streams the retained events (oldest first, newest n when
+// n > 0) as newline-delimited JSON — the /events wire format.
+func (j *Journal) WriteNDJSON(w io.Writer, n int) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range j.Events(n) {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

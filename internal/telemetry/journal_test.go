@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJournalBasic(t *testing.T) {
+	j := NewJournal(8)
+	j.Emit("tip", map[string]any{"height": 1})
+	j.Emit("ban", map[string]any{"host": "10.0.0.1"})
+	if j.Len() != 2 || j.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d", j.Len(), j.Dropped())
+	}
+	evs := j.Events(0)
+	if len(evs) != 2 || evs[0].Type != "tip" || evs[1].Type != "ban" {
+		t.Fatalf("Events = %+v", evs)
+	}
+	if evs[0].Seq != 0 || evs[1].Seq != 1 {
+		t.Fatalf("seqs = %d, %d", evs[0].Seq, evs[1].Seq)
+	}
+	if got := j.Events(1); len(got) != 1 || got[0].Type != "ban" {
+		t.Fatalf("Events(1) = %+v", got)
+	}
+}
+
+// Overflow must drop the oldest entries, keep sequence numbers
+// contiguous on the survivors, and count every overwrite.
+func TestJournalOverflowDropsOldest(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Emit("e", map[string]any{"i": i})
+	}
+	if j.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", j.Len())
+	}
+	if j.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", j.Dropped())
+	}
+	evs := j.Events(0)
+	for k, ev := range evs {
+		wantSeq := uint64(6 + k) // newest 4 of 10: seqs 6..9, oldest first
+		if ev.Seq != wantSeq {
+			t.Fatalf("event %d seq = %d, want %d (%+v)", k, ev.Seq, wantSeq, evs)
+		}
+		if ev.Fields["i"] != 6+k {
+			t.Fatalf("event %d fields = %v", k, ev.Fields)
+		}
+	}
+}
+
+// Concurrent emitters must be safe (run under -race in CI) and account
+// for every event either retained or dropped.
+func TestJournalConcurrentWriters(t *testing.T) {
+	const writers, each = 8, 500
+	j := NewJournal(64)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				j.Emit("e", map[string]any{"w": w, "i": i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := uint64(j.Len()) + j.Dropped()
+	if total != writers*each {
+		t.Fatalf("retained+dropped = %d, want %d", total, writers*each)
+	}
+	// Seqs must be strictly increasing, oldest first, with the newest
+	// event carrying the final sequence number.
+	evs := j.Events(0)
+	for k := 1; k < len(evs); k++ {
+		if evs[k].Seq != evs[k-1].Seq+1 {
+			t.Fatalf("seq gap between %d and %d", evs[k-1].Seq, evs[k].Seq)
+		}
+	}
+	if last := evs[len(evs)-1].Seq; last != writers*each-1 {
+		t.Fatalf("last seq = %d, want %d", last, writers*each-1)
+	}
+}
+
+func TestJournalNDJSON(t *testing.T) {
+	j := NewJournal(4)
+	j.Emit("tip", map[string]any{"height": 7})
+	j.Emit("reorg", map[string]any{"depth": 2})
+	var b strings.Builder
+	if err := j.WriteNDJSON(&b, 0); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	var types []string
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		types = append(types, ev.Type)
+	}
+	if len(types) != 2 || types[0] != "tip" || types[1] != "reorg" {
+		t.Fatalf("types = %v", types)
+	}
+}

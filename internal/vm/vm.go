@@ -252,6 +252,14 @@ func (m *Machine) Load(p *prog.Program) error {
 	return nil
 }
 
+// CodeSize reports the lengths of the two decoded instruction streams of
+// the currently loaded program: arch is the unfused architectural stream,
+// fused the superinstruction stream (fused <= arch; arch/fused is the
+// fusion ratio telemetry tracks per widget).
+func (m *Machine) CodeSize() (arch, fused int) {
+	return len(m.code), len(m.fcode)
+}
+
 // LoadTrusted is Load without the validation pass, for programs that are
 // already known to be structurally valid (e.g. just returned by
 // prog.Builder.Build, which validates). Loading an unvalidated program

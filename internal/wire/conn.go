@@ -42,6 +42,11 @@ type ConnConfig struct {
 	// within it gets a write error (and is typically dropped by the
 	// caller). Zero means no deadline.
 	WriteTimeout time.Duration
+	// Tally, when non-nil, additionally accumulates this connection's
+	// byte/frame accounting into a shared total (one tally per daemon,
+	// exposed as the hc_net_* metrics). Per-connection numbers are
+	// always available via Conn.Stats.
+	Tally *ConnTally
 }
 
 // Conn is an NDJSON-framed network connection: ReadLine/ReadJSON return
@@ -50,9 +55,11 @@ type ConnConfig struct {
 // never interleave frames. Reads are single-consumer (one goroutine);
 // writes and Close are safe from any goroutine.
 type Conn struct {
-	nc  net.Conn
-	sc  *bufio.Scanner
-	cfg ConnConfig
+	nc    net.Conn
+	sc    *bufio.Scanner
+	cfg   ConnConfig
+	stats ConnTally  // this connection's own accounting
+	tally *ConnTally // optional shared accounting (cfg.Tally)
 
 	wmu sync.Mutex
 
@@ -65,7 +72,8 @@ func NewConn(nc net.Conn, cfg ConnConfig) *Conn {
 	if cfg.MaxLine <= 0 {
 		cfg.MaxLine = DefaultMaxLine
 	}
-	sc := bufio.NewScanner(nc)
+	c := &Conn{nc: nc, cfg: cfg, tally: cfg.Tally}
+	sc := bufio.NewScanner(countingReader{c})
 	// The scanner's token limit is max(cap(initial), limit), so the
 	// initial buffer must not exceed MaxLine or it silently raises it.
 	initial := 4096
@@ -73,8 +81,12 @@ func NewConn(nc net.Conn, cfg ConnConfig) *Conn {
 		initial = cfg.MaxLine
 	}
 	sc.Buffer(make([]byte, initial), cfg.MaxLine)
-	return &Conn{nc: nc, sc: sc, cfg: cfg}
+	c.sc = sc
+	return c
 }
+
+// Stats snapshots this connection's own byte/frame accounting.
+func (c *Conn) Stats() ConnStats { return c.stats.Snapshot() }
 
 // ReadLine returns the next non-empty line, without its terminator. The
 // returned slice is only valid until the next ReadLine. Oversized lines
@@ -85,6 +97,8 @@ func (c *Conn) ReadLine() ([]byte, error) {
 		if len(line) == 0 {
 			continue
 		}
+		c.stats.frameIn()
+		c.tally.frameIn()
 		return line, nil
 	}
 	if err := c.sc.Err(); err != nil {
@@ -118,7 +132,14 @@ func (c *Conn) WriteJSON(v any) error {
 	if c.cfg.WriteTimeout > 0 {
 		_ = c.nc.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
 	}
-	return json.NewEncoder(c.nc).Encode(v)
+	err := json.NewEncoder(countingWriter{c}).Encode(v)
+	if err == nil {
+		// Frames count only complete lines; a partial write leaves its
+		// byte prefix in the tally but no frame.
+		c.stats.frameOut()
+		c.tally.frameOut()
+	}
+	return err
 }
 
 // SetReadDeadline bounds the next read, for callers that enforce idle
