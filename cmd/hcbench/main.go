@@ -51,6 +51,8 @@ func main() {
 	seed := flag.Uint64("seed", 2019, "master seed for widget seeds")
 	benchN := flag.Int("benchn", 200, "hash evaluations for the vm benchmark")
 	benchOut := flag.String("benchout", "BENCH_vm.json", "output path for the vm benchmark JSON")
+	backend := flag.String("backend", "auto", "widget execution backend for the vm benchmark headline: auto, native or interp")
+	dumpWidget := flag.Bool("dump-widget", false, "disassemble the widget selected by -profile/-seed (architectural and fused streams, native code size) and exit")
 	poolN := flag.Int("pooln", 256, "shares for the pool verification benchmark")
 	poolWorkers := flag.Int("poolworkers", 0, "verification workers for the pool benchmark (0 = GOMAXPROCS)")
 	poolOut := flag.String("poolout", "BENCH_pool.json", "output path for the pool benchmark JSON")
@@ -62,6 +64,14 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+
+	if *dumpWidget {
+		if err := runDumpWidget(*profileName, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "hcbench: -dump-widget:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	// Profiling hooks so perf PRs can attach pprof evidence without
 	// patching the harness: hcbench -run vm -cpuprofile cpu.pprof.
@@ -79,7 +89,7 @@ func main() {
 		cpuFile = f
 	}
 
-	err := dispatch(*run, *n, *profileName, *seed, *benchN, *benchOut, *poolN, *poolWorkers, *poolOut, *chainN, *chainOut, *syncN, *syncOut, *telemetryOut)
+	err := dispatch(*run, *n, *profileName, *seed, *benchN, *benchOut, *backend, *poolN, *poolWorkers, *poolOut, *chainN, *chainOut, *syncN, *syncOut, *telemetryOut)
 
 	if cpuFile != nil {
 		pprof.StopCPUProfile()
@@ -115,7 +125,7 @@ func writeMemProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
-func dispatch(run string, n int, profileName string, seed uint64, benchN int, benchOut string, poolN, poolWorkers int, poolOut string, chainN int, chainOut string, syncN int, syncOut, telemetryOut string) error {
+func dispatch(run string, n int, profileName string, seed uint64, benchN int, benchOut, backend string, poolN, poolWorkers int, poolOut string, chainN int, chainOut string, syncN int, syncOut, telemetryOut string) error {
 	wants := map[string]bool{}
 	for _, name := range strings.Split(run, ",") {
 		wants[strings.TrimSpace(name)] = true
@@ -211,7 +221,7 @@ func dispatch(run string, n int, profileName string, seed uint64, benchN int, be
 	}
 	if all || wants["vm"] {
 		fmt.Println("== Hash pipeline microbenchmark ==")
-		if err := runVMBench(profileName, benchN, benchOut); err != nil {
+		if err := runVMBench(profileName, backend, benchN, benchOut); err != nil {
 			return err
 		}
 	}

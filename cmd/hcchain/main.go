@@ -77,7 +77,14 @@ func main() {
 	simnetScenario := flag.String("simnet", "", "run a network-lab scenario instead of a node (see -simnet list)")
 	simnetNodes := flag.Int("simnet-nodes", 0, "cluster size for -simnet (0 = scenario default)")
 	metricsAddr := flag.String("metrics-addr", "", "debug HTTP listen address: /metrics, /events, /healthz, pprof (networked mode; empty disables)")
+	backendFlag := flag.String("backend", "auto", "widget execution engine: auto, native or interp (HASHCORE_BACKEND also applies)")
 	flag.Parse()
+
+	backend, err := vm.ParseBackend(*backendFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hcchain:", err)
+		os.Exit(2)
+	}
 
 	if *simnetScenario != "" {
 		if err := runSimnet(*simnetScenario, *simnetNodes); err != nil {
@@ -89,7 +96,7 @@ func main() {
 
 	if *listen == "" && *connect == "" {
 		// Original standalone demo, unchanged.
-		out, err := experiments.MineDemoAt(context.Background(), *profileName, *blocks, *datadir, vm.Params{})
+		out, err := experiments.MineDemoAt(context.Background(), *profileName, *blocks, *datadir, vm.Params{}, backend)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hcchain:", err)
 			os.Exit(1)
@@ -100,7 +107,7 @@ func main() {
 
 	if err := runDaemon(*blocks, *profileName, *datadir, *listen, *connect, *network,
 		*zeroBits, *fsyncBatch, *fsyncInterval, *workers,
-		*banThreshold, *banDuration, *msgRate, *metricsAddr); err != nil {
+		*banThreshold, *banDuration, *msgRate, *metricsAddr, *backendFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "hcchain:", err)
 		os.Exit(1)
 	}
@@ -154,7 +161,7 @@ func openStore(datadir string, fsyncBatch int, fsyncInterval time.Duration, reg 
 
 func runDaemon(blocks int, profileName, datadir, listen, connect, network string,
 	zeroBits uint, fsyncBatch int, fsyncInterval time.Duration, workers int,
-	banThreshold int, banDuration time.Duration, msgRate float64, metricsAddr string) error {
+	banThreshold int, banDuration time.Duration, msgRate float64, metricsAddr, backendMode string) error {
 	// One registry and journal feed every layer; the debug server (when
 	// enabled) exposes them at /metrics and /events.
 	var reg *telemetry.Registry
@@ -163,7 +170,8 @@ func runDaemon(blocks int, profileName, datadir, listen, connect, network string
 		reg = telemetry.NewRegistry()
 		journal = telemetry.NewJournal(1024)
 	}
-	h, err := hashcore.New(hashcore.WithProfile(profileName), hashcore.WithTelemetry(reg))
+	h, err := hashcore.New(hashcore.WithProfile(profileName), hashcore.WithTelemetry(reg),
+		hashcore.WithBackend(backendMode))
 	if err != nil {
 		return err
 	}

@@ -32,20 +32,22 @@ func main() {
 	profileName := flag.String("profile", "leela", "reference workload profile")
 	quiet := flag.Bool("quiet", false, "suppress per-share output")
 	metricsAddr := flag.String("metrics-addr", "", "debug HTTP listen address: /metrics, /events, /healthz, pprof (empty disables)")
+	backendFlag := flag.String("backend", "auto", "widget execution engine: auto, native or interp (HASHCORE_BACKEND also applies)")
 	flag.Parse()
 
-	if err := run(*poolAddr, *name, *profileName, *metricsAddr, *workers, *quiet); err != nil {
+	if err := run(*poolAddr, *name, *profileName, *metricsAddr, *backendFlag, *workers, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "hcminer:", err)
 		os.Exit(1)
 	}
 }
 
-func run(poolAddr, name, profileName, metricsAddr string, workers int, quiet bool) error {
+func run(poolAddr, name, profileName, metricsAddr, backendMode string, workers int, quiet bool) error {
 	var reg *telemetry.Registry
 	if metricsAddr != "" {
 		reg = telemetry.NewRegistry()
 	}
-	h, err := hashcore.New(hashcore.WithProfile(profileName), hashcore.WithTelemetry(reg))
+	h, err := hashcore.New(hashcore.WithProfile(profileName), hashcore.WithTelemetry(reg),
+		hashcore.WithBackend(backendMode))
 	if err != nil {
 		return err
 	}

@@ -56,9 +56,10 @@ func main() {
 	connect := flag.String("connect", "", "comma-separated p2p peer addresses to keep sessions with")
 	network := flag.String("network", "hashcore", "p2p network name pinned in handshakes")
 	metricsAddr := flag.String("metrics-addr", "", "debug HTTP listen address: /metrics, /events, /healthz, pprof (empty disables)")
+	backendFlag := flag.String("backend", "auto", "widget execution engine: auto, native or interp (HASHCORE_BACKEND also applies)")
 	flag.Parse()
 
-	if err := run(*addr, *httpAddr, *profileName, *name, *datadir, *listen, *connect, *network, *metricsAddr,
+	if err := run(*addr, *httpAddr, *profileName, *name, *datadir, *listen, *connect, *network, *metricsAddr, *backendFlag,
 		uint(*shareZeroBits), uint(*blockZeroBits),
 		*verifyWorkers, *queueDepth, *rangeSize, *refresh); err != nil {
 		fmt.Fprintln(os.Stderr, "hcpoold:", err)
@@ -66,7 +67,7 @@ func main() {
 	}
 }
 
-func run(addr, httpAddr, profileName, name, datadir, listen, connect, network, metricsAddr string,
+func run(addr, httpAddr, profileName, name, datadir, listen, connect, network, metricsAddr, backendMode string,
 	shareZeroBits, blockZeroBits uint,
 	verifyWorkers, queueDepth int, rangeSize uint64, refresh time.Duration) error {
 	var reg *telemetry.Registry
@@ -75,7 +76,8 @@ func run(addr, httpAddr, profileName, name, datadir, listen, connect, network, m
 		reg = telemetry.NewRegistry()
 		journal = telemetry.NewJournal(1024)
 	}
-	h, err := hashcore.New(hashcore.WithProfile(profileName), hashcore.WithTelemetry(reg))
+	h, err := hashcore.New(hashcore.WithProfile(profileName), hashcore.WithTelemetry(reg),
+		hashcore.WithBackend(backendMode))
 	if err != nil {
 		return err
 	}

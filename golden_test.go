@@ -41,28 +41,46 @@ var goldenVectors = []struct {
 	{"leela-snap512", []Option{WithSnapshotInterval(512)}, "abc", "1944269f2b0021954c2a97fde257a565c015b8b44c735b69e0fca3fc2b794784"},
 }
 
+// goldenBackends is the set of execution engines every golden vector is
+// replayed through. The digests were captured from the interpreter; the
+// native backend must reproduce them bit-for-bit, so the same table runs
+// under both (native skipped on platforms without the code generator).
+func goldenBackends(t *testing.T) []string {
+	t.Helper()
+	if !NativeBackendSupported() {
+		t.Log("native backend unsupported on this platform; interp only")
+		return []string{"interp"}
+	}
+	return []string{"interp", "native"}
+}
+
 // TestGoldenDigests locks the determinism contract across the
-// zero-allocation refactor: every digest must match the value the
-// pre-refactor pipeline produced.
+// zero-allocation refactor and the native code backend: every digest must
+// match the value the pre-refactor interpreter pipeline produced, under
+// every execution engine.
 func TestGoldenDigests(t *testing.T) {
-	hashers := map[string]*Hasher{}
-	for _, v := range goldenVectors {
-		h, ok := hashers[v.name]
-		if !ok {
-			var err error
-			h, err = New(v.opts...)
-			if err != nil {
-				t.Fatalf("%s: New: %v", v.name, err)
+	for _, backend := range goldenBackends(t) {
+		t.Run(backend, func(t *testing.T) {
+			hashers := map[string]*Hasher{}
+			for _, v := range goldenVectors {
+				h, ok := hashers[v.name]
+				if !ok {
+					var err error
+					h, err = New(append([]Option{WithBackend(backend)}, v.opts...)...)
+					if err != nil {
+						t.Fatalf("%s: New: %v", v.name, err)
+					}
+					hashers[v.name] = h
+				}
+				got, err := h.Hash([]byte(v.input))
+				if err != nil {
+					t.Fatalf("%s/%q: Hash: %v", v.name, v.input, err)
+				}
+				if hex.EncodeToString(got[:]) != v.want {
+					t.Errorf("%s/%q:\n got %x\nwant %s", v.name, v.input, got, v.want)
+				}
 			}
-			hashers[v.name] = h
-		}
-		got, err := h.Hash([]byte(v.input))
-		if err != nil {
-			t.Fatalf("%s/%q: Hash: %v", v.name, v.input, err)
-		}
-		if hex.EncodeToString(got[:]) != v.want {
-			t.Errorf("%s/%q:\n got %x\nwant %s", v.name, v.input, got, v.want)
-		}
+		})
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"os"
 
 	"hashcore/internal/core"
 	"hashcore/internal/gate"
@@ -59,7 +60,9 @@ type config struct {
 	snapshot    uint64
 	noise       float64
 	loopTrips   int
+	backend     vm.Backend
 	metrics     *telemetry.Registry
+	journal     *telemetry.Journal
 }
 
 // Option configures New.
@@ -147,6 +150,38 @@ func WithLoopTrips(trips int) Option {
 	}
 }
 
+// WithBackend selects the widget execution engine: "auto" (the default —
+// native machine code where the platform supports it, the fused
+// interpreter elsewhere), "native" or "interp". Digests are bit-identical
+// across backends; only throughput differs. The HASHCORE_BACKEND
+// environment variable, when set, overrides this option — an operational
+// escape hatch to force the interpreter fleet-wide without a rebuild.
+func WithBackend(mode string) Option {
+	return func(c *config) error {
+		b, err := vm.ParseBackend(mode)
+		if err != nil {
+			return fmt.Errorf("hashcore: %w", err)
+		}
+		c.backend = b
+		return nil
+	}
+}
+
+// NativeBackendSupported reports whether this platform can execute
+// widgets as native machine code ("auto" and "native" fall back to the
+// interpreter elsewhere).
+func NativeBackendSupported() bool { return vm.NativeSupported() }
+
+// WithJournal routes structured events (currently jit_fallback, emitted
+// once when a native-capable backend falls back to the interpreter) to j.
+// A nil journal disables event emission (the default).
+func WithJournal(j *telemetry.Journal) Option {
+	return func(c *config) error {
+		c.journal = j
+		return nil
+	}
+}
+
 // WithTelemetry instruments every hash through reg: latency histograms
 // (end-to-end plus the gen/exec phase split), retired-instruction and
 // fusion-ratio counters — the hashcore_* metric family (DESIGN.md §12).
@@ -176,6 +211,13 @@ func New(opts ...Option) (*Hasher, error) {
 			return nil, err
 		}
 	}
+	if env := os.Getenv("HASHCORE_BACKEND"); env != "" {
+		b, err := vm.ParseBackend(env)
+		if err != nil {
+			return nil, fmt.Errorf("hashcore: HASHCORE_BACKEND: %w", err)
+		}
+		cfg.backend = b
+	}
 	prof := cfg.prof
 	if prof == nil {
 		w, err := workload.ByName(cfg.profileName)
@@ -194,7 +236,9 @@ func New(opts ...Option) (*Hasher, error) {
 		VMParams:          vm.Params{SnapshotInterval: cfg.snapshot},
 		Widgets:           cfg.widgets,
 		UseSourcePipeline: cfg.sourcePath,
+		Backend:           cfg.backend,
 		Metrics:           cfg.metrics,
+		Journal:           cfg.journal,
 	})
 	if err != nil {
 		return nil, err

@@ -27,24 +27,43 @@ func Disassemble(p *prog.Program) string {
 
 // FormatInstr renders a single instruction in assembly syntax.
 func FormatInstr(ins prog.Instr) string {
+	if ins.Op == isa.OpHalt {
+		return "halt"
+	}
+	return ins.Op.String() + " " + operands(ins)
+}
+
+// FormatFusedPair renders a fused superinstruction as its mnemonic
+// followed by both architectural halves' operand lists. The halves are the
+// decoded pair a fused execution slot retires (so register dependencies,
+// branch targets and displacements read exactly as in the unfused
+// listing); callers that execute fused code reconstruct them from the
+// packed encoding. Example: cmplt.bne r3, r1, r2 | r3, r0, @7.
+func FormatFusedPair(op isa.Opcode, first, second prog.Instr) string {
+	return op.String() + " " + operands(first) + " | " + operands(second)
+}
+
+// operands renders an instruction's operand list (everything after the
+// mnemonic).
+func operands(ins prog.Instr) string {
 	op := ins.Op
 	switch {
 	case op == isa.OpHalt:
-		return "halt"
+		return ""
 	case op == isa.OpJmp:
-		return fmt.Sprintf("jmp @%d", ins.Target)
+		return fmt.Sprintf("@%d", ins.Target)
 	case op.IsCondBranch():
-		return fmt.Sprintf("%s r%d, r%d, @%d", op, ins.A, ins.B, ins.Target)
+		return fmt.Sprintf("r%d, r%d, @%d", ins.A, ins.B, ins.Target)
 	case op == isa.OpLoad || op == isa.OpFLoad:
 		dstFile, _, _ := op.Operands()
-		return fmt.Sprintf("%s %s%d, %s", op, dstFile.Prefix(), ins.Dst, memOperand(ins.A, ins.Imm))
+		return fmt.Sprintf("%s%d, %s", dstFile.Prefix(), ins.Dst, memOperand(ins.A, ins.Imm))
 	case op == isa.OpStore || op == isa.OpFStore:
 		_, _, bFile := op.Operands()
-		return fmt.Sprintf("%s %s, %s%d", op, memOperand(ins.A, ins.Imm), bFile.Prefix(), ins.B)
+		return fmt.Sprintf("%s, %s%d", memOperand(ins.A, ins.Imm), bFile.Prefix(), ins.B)
 	case op == isa.OpMovI:
-		return fmt.Sprintf("movi r%d, %d", ins.Dst, ins.Imm)
+		return fmt.Sprintf("r%d, %d", ins.Dst, ins.Imm)
 	case op == isa.OpAddI:
-		return fmt.Sprintf("addi r%d, r%d, %d", ins.Dst, ins.A, ins.Imm)
+		return fmt.Sprintf("r%d, r%d, %d", ins.Dst, ins.A, ins.Imm)
 	default:
 		dstFile, aFile, bFile := op.Operands()
 		parts := make([]string, 0, 3)
@@ -57,7 +76,7 @@ func FormatInstr(ins prog.Instr) string {
 		if bFile != isa.RegNone {
 			parts = append(parts, fmt.Sprintf("%s%d", bFile.Prefix(), ins.B))
 		}
-		return fmt.Sprintf("%s %s", op, strings.Join(parts, ", "))
+		return strings.Join(parts, ", ")
 	}
 }
 

@@ -54,12 +54,20 @@ type Options struct {
 	// results (property-tested) so this is purely a fidelity/speed
 	// trade-off.
 	UseSourcePipeline bool
+	// Backend selects the widget execution engine (vm.BackendAuto, the
+	// zero value, picks native code where supported and falls back to the
+	// fused interpreter). Digests are bit-identical across backends.
+	Backend vm.Backend
 	// Metrics, when non-nil, instruments every hash through this
 	// registry: latency histograms (total and gen/exec split), retired
 	// instructions, and static fusion-ratio counters. The record path
 	// is allocation-free and costs a few clock reads and atomic adds
 	// per hash, so enabling it does not perturb throughput measurably.
 	Metrics *telemetry.Registry
+	// Journal, when non-nil, receives structured events: currently
+	// jit_fallback, emitted once per Func when a native-capable backend
+	// falls back to the interpreter (compile failure).
+	Journal *telemetry.Journal
 }
 
 // Func is an instantiated HashCore PoW function. Its configuration is
@@ -73,8 +81,11 @@ type Func struct {
 	vparams vm.Params
 	widgets int
 	useSrc  bool
-	met     *hashMetrics // nil when telemetry is disabled
+	backend vm.Backend
+	met     *hashMetrics       // nil when telemetry is disabled
+	journal *telemetry.Journal // nil-safe; jit_fallback events
 
+	fellBack sync.Once // jit_fallback is journaled once per Func
 	sessions sync.Pool // of *Session
 }
 
@@ -107,10 +118,28 @@ func New(opts Options) (*Func, error) {
 		vparams: opts.VMParams,
 		widgets: widgets,
 		useSrc:  opts.UseSourcePipeline,
+		backend: opts.Backend,
 		met:     newHashMetrics(opts.Metrics),
+		journal: opts.Journal,
 	}
 	f.sessions.New = func() any { return f.NewSession() }
 	return f, nil
+}
+
+// Backend reports the configured execution backend.
+func (f *Func) Backend() vm.Backend { return f.backend }
+
+// noteFallback journals the first native-to-interpreter fallback of this
+// Func's lifetime. Every session of a Func compiles the same instruction
+// set, so one event carries all the signal without flooding the journal
+// at hash rate.
+func (f *Func) noteFallback(err error) {
+	f.fellBack.Do(func() {
+		f.journal.Emit("jit_fallback", map[string]any{
+			"error":   err.Error(),
+			"profile": f.gen.Profile().Name,
+		})
+	})
 }
 
 // GateName returns the name of the configured hash gate.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"hashcore/internal/telemetry"
+	"hashcore/internal/vm"
 )
 
 // hashMetrics is the hashing hot loop's instrument set, resolved once at
@@ -24,6 +25,13 @@ type hashMetrics struct {
 	// ratio (1.0 = no fusion benefit).
 	archInstrs  *telemetry.Counter
 	fusedInstrs *telemetry.Counter
+	// jitCompileSeconds is the per-widget native compilation latency
+	// (observed only on runs that actually compiled).
+	jitCompileSeconds *telemetry.Histogram
+	// hashesNative/hashesInterp count hashes by the engine that executed
+	// them, so a fleet dashboard shows at a glance which backend is live.
+	hashesNative *telemetry.Counter
+	hashesInterp *telemetry.Counter
 }
 
 // newHashMetrics resolves the instrument set against reg (nil reg = nil
@@ -49,16 +57,30 @@ func newHashMetrics(reg *telemetry.Registry) *hashMetrics {
 		fusedInstrs: reg.Counter("hashcore_vm_instructions_total",
 			"Static instruction-stream lengths of loaded widgets.",
 			telemetry.Label{Key: "stream", Value: "fused"}),
+		jitCompileSeconds: reg.Histogram("hashcore_jit_compile_seconds",
+			"Per-widget native code compilation latency.",
+			telemetry.QueueLatencyBuckets),
+		hashesNative: reg.Counter("hashcore_hashes_total",
+			"Hashes computed, by execution backend.",
+			telemetry.Label{Key: "backend", Value: "native"}),
+		hashesInterp: reg.Counter("hashcore_hashes_total",
+			"Hashes computed, by execution backend.",
+			telemetry.Label{Key: "backend", Value: "interp"}),
 	}
 }
 
 // observeHash records one successful hash: total wall time plus the
 // gen/exec split and retired-instruction delta accumulated in t since
 // the (genNs, execNs, retired) baseline captured at the start of the
-// call. Allocation-free.
-func (hm *hashMetrics) observeHash(start time.Time, t *PhaseTimings, genNs, execNs int64, retired uint64) {
+// call, attributed to the backend that executed it. Allocation-free.
+func (hm *hashMetrics) observeHash(start time.Time, t *PhaseTimings, genNs, execNs int64, retired uint64, backend vm.Backend) {
 	hm.hashSeconds.Observe(time.Since(start).Seconds())
 	hm.genSeconds.Observe(float64(t.GenNs-genNs) / 1e9)
 	hm.execSeconds.Observe(float64(t.ExecNs-execNs) / 1e9)
 	hm.retired.Add(t.Retired - retired)
+	if backend == vm.BackendNative {
+		hm.hashesNative.Inc()
+	} else {
+		hm.hashesInterp.Inc()
+	}
 }

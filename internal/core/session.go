@@ -34,7 +34,9 @@ type Session struct {
 
 // NewSession returns a fresh execution context for f.
 func (f *Func) NewSession() *Session {
-	return &Session{f: f}
+	s := &Session{f: f}
+	s.m.SetBackend(f.backend)
+	return s
 }
 
 // Hash computes the HashCore digest of input using the session's reusable
@@ -56,6 +58,9 @@ type PhaseTimings struct {
 	// ExecNs is nanoseconds spent loading programs into the VM and
 	// executing them.
 	ExecNs int64
+	// CompileNs is nanoseconds spent compiling widgets to native code
+	// (a subset of ExecNs; zero when the interpreter backend runs).
+	CompileNs int64
 	// Retired is the total number of retired widget instructions.
 	Retired uint64
 	// Hashes is the number of HashTimed calls accumulated.
@@ -85,7 +90,7 @@ func (s *Session) hash(input []byte, obs vm.Observer, t *PhaseTimings) (Digest, 
 		genNs, execNs, retired := t.GenNs, t.ExecNs, t.Retired
 		d, err := s.hashInner(input, obs, t)
 		if err == nil {
-			met.observeHash(start, t, genNs, execNs, retired)
+			met.observeHash(start, t, genNs, execNs, retired, s.m.LastRunStats().Backend)
 		}
 		return d, err
 	}
@@ -152,9 +157,19 @@ func (s *Session) runWidget(seed perfprox.Seed, obs vm.Observer, t *PhaseTimings
 		met.fusedInstrs.Add(uint64(fused))
 	}
 	s.m.RunInto(f.vparams, obs, &s.res)
-	if t != nil {
-		t.ExecNs += time.Since(mark).Nanoseconds()
-		t.Retired += s.res.Retired
+	if t != nil || f.met != nil || f.journal != nil {
+		st := s.m.LastRunStats()
+		if t != nil {
+			t.ExecNs += time.Since(mark).Nanoseconds()
+			t.CompileNs += st.CompileNs
+			t.Retired += s.res.Retired
+		}
+		if met := f.met; met != nil && st.Compiled {
+			met.jitCompileSeconds.Observe(float64(st.CompileNs) / 1e9)
+		}
+		if st.FallbackErr != nil {
+			f.noteFallback(st.FallbackErr)
+		}
 	}
 	return nil
 }

@@ -241,18 +241,19 @@ func RandomXPopulation(n int, masterSeed uint64, vp vm.Params) (*DistReport, err
 // motivation describes. Difficulty is kept low so the demo completes in
 // seconds.
 func MineDemo(ctx context.Context, profileName string, blocks int, vp vm.Params) (string, error) {
-	return MineDemoAt(ctx, profileName, blocks, "", vp)
+	return MineDemoAt(ctx, profileName, blocks, "", vp, vm.BackendAuto)
 }
 
-// MineDemoAt is MineDemo with optional persistence: a non-empty datadir
-// backs the chain with an append-only block log there, and successive
-// runs resume from the recovered tip.
-func MineDemoAt(ctx context.Context, profileName string, blocks int, datadir string, vp vm.Params) (string, error) {
+// MineDemoAt is MineDemo with optional persistence and an explicit
+// execution backend: a non-empty datadir backs the chain with an
+// append-only block log there, and successive runs resume from the
+// recovered tip.
+func MineDemoAt(ctx context.Context, profileName string, blocks int, datadir string, vp vm.Params, backend vm.Backend) (string, error) {
 	w, err := workload.ByName(profileName)
 	if err != nil {
 		return "", err
 	}
-	hc, err := core.New(core.Options{Profile: w.Profile, VMParams: vp})
+	hc, err := core.New(core.Options{Profile: w.Profile, VMParams: vp, Backend: backend})
 	if err != nil {
 		return "", err
 	}

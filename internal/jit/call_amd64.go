@@ -1,0 +1,9 @@
+//go:build amd64 && linux
+
+package jit
+
+// call enters generated code at entry with R15 pointing at f.
+// Implemented in call_amd64.s.
+//
+//go:noescape
+func call(entry uintptr, f *Frame)

@@ -1,0 +1,37 @@
+//go:build amd64 && linux
+
+#include "textflag.h"
+
+// func call(entry uintptr, f *Frame)
+//
+// Enter generated code at entry with R15 pointing at the Frame plus the
+// 168-byte encoding bias (jit.frameBias — keep in sync), which puts the
+// hot Frame fields within disp8 reach. The generated code clobbers every
+// callee-saved register (they carry widget registers r0..r7 plus the
+// frame, memory base and counters), so all of them are saved here —
+// including R14, which the Go register ABI reserves for the current g.
+// The generated code makes no calls and touches no stack, so
+// NOSPLIT|NOFRAME with a balanced push/pop is sufficient.
+TEXT ·call(SB), NOSPLIT|NOFRAME, $0-16
+	MOVQ entry+0(FP), AX
+	MOVQ f+8(FP), DX
+	LEAQ 168(DX), DX
+	PUSHQ BX
+	PUSHQ BP
+	PUSHQ SI
+	PUSHQ DI
+	PUSHQ R12
+	PUSHQ R13
+	PUSHQ R14
+	PUSHQ R15
+	MOVQ DX, R15
+	CALL AX
+	POPQ R15
+	POPQ R14
+	POPQ R13
+	POPQ R12
+	POPQ DI
+	POPQ SI
+	POPQ BP
+	POPQ BX
+	RET

@@ -1,0 +1,158 @@
+// Package jit compiles widget programs to native machine code.
+//
+// The paper's reference pipeline compiles each generated widget to native
+// code through a C compiler; this package is the reproduction's analogue:
+// a small amd64 code generator that lowers a program's basic blocks to
+// machine code at load time, so the execution half of every hash runs at
+// native speed instead of interpreter speed.
+//
+// The package is deliberately narrow. It knows nothing about snapshots,
+// memory images or result buffers: it compiles exactly the fast-path
+// block-batched loop of vm.runUnobserved — per-block budget and snapshot
+// guards, wholesale retirement accounting, straight-line opcode lowering —
+// and *exits* to the caller whenever a block cannot be executed wholesale
+// (budget or snapshot boundary in range, or a halt/truncation). The caller
+// (internal/vm) runs those boundary blocks on its exact per-instruction
+// slow path and re-enters the native code at the next block, which is what
+// keeps truncation points, retired counts and snapshot bytes bit-identical
+// to the interpreter.
+//
+// All communication happens through a Frame: a plain Go struct holding the
+// full architectural register file, the live accounting counters, and the
+// entry/exit plumbing. Generated code addresses the Frame through a single
+// pinned pointer register, maps the 8 hottest widget integer registers
+// onto amd64 registers, and uses no stack and no calls, so it is safe
+// under the Go runtime's async preemption (an unknown PC is simply not a
+// safe point) and needs only a minimal assembly trampoline to enter.
+//
+// On non-amd64 (or non-linux) platforms the package compiles to a stub
+// whose Supported() reports false; callers keep the interpreter.
+package jit
+
+import (
+	"errors"
+
+	"hashcore/internal/isa"
+)
+
+// Status values the generated code leaves in Frame.Status on exit.
+const (
+	// StatusSlow: the block in Frame.NextBlock could not be retired
+	// wholesale — it straddles a budget or snapshot boundary (including
+	// the budget being exhausted outright); the caller must execute it
+	// per-instruction, which reproduces truncation and snapshots exactly,
+	// and re-enter at the block it reports next.
+	StatusSlow = 0
+	// StatusHalt: a halt instruction inside a wholesale-retired block
+	// ended the run.
+	StatusHalt = 1
+)
+
+// Frame is the shared state between the Go driver and generated code. The
+// generated code addresses it via fixed byte offsets (asserted against
+// unsafe.Offsetof at init), so the field order and types below are ABI.
+//
+// The order is chosen for encoding density, not readability: the frame
+// pointer register is biased into the middle of the struct so that every
+// field the generated code touches on a hot path — spilled integer
+// registers, the whole FP file, and the per-block accounting scalars
+// between them — is within a signed 8-bit displacement, shrinking most
+// frame accesses from 8 to 5 bytes.
+type Frame struct {
+	// The architectural integer file. IntRegs[0:8] are shadowed by amd64
+	// registers while native code runs (the prologue loads them, the
+	// epilogue stores them back); r8..r15 live here permanently.
+	IntRegs [isa.NumIntRegs]uint64
+
+	// Hot accounting scalars, read inside the native loop. MaskAligned is
+	// (memSize-1) &^ 7, folding the power-of-two wrap and the 8-byte
+	// alignment into one AND; ExecsBase points at a []uint64 of per-block
+	// fast-path execution counters (the jit twin of vm.blockMeta.execs).
+	MaskAligned   uint64
+	MaxInstr      uint64
+	CondBranches  uint64
+	TakenBranches uint64
+	ExecsBase     uintptr
+
+	// The FP and vector register files.
+	FPRegs  [isa.NumFPRegs]uint64
+	VecRegs [isa.NumVecRegs][isa.VecLanes]uint64
+
+	// Cold state, touched only by the prologue/epilogue or the Go driver.
+	// Mem is the base address of the scratch memory arena (loaded into a
+	// register on entry). Retired and UntilSnap mirror vm.execState and
+	// are register-shadowed while native code runs. Resume is the
+	// absolute address of the block head to enter — the prologue jumps
+	// through it, which is how the driver re-enters at an arbitrary block
+	// after a slow-path boundary. NextBlock and Status report why the
+	// code exited (see Status*).
+	Mem       uintptr
+	Retired   uint64
+	UntilSnap uint64
+	Resume    uintptr
+	NextBlock uint32
+	Status    uint32
+
+	// LimStart is prologue/epilogue scratch: the run-segment instruction
+	// limit min(MaxInstr-Retired, UntilSnap) captured on entry. Retired
+	// and UntilSnap advance in lockstep (every retired instruction
+	// decrements the snapshot countdown by one), so the generated code
+	// tracks a single countdown register seeded from this minimum and the
+	// epilogue reconstructs both counters from how far it fell.
+	LimStart uint64
+}
+
+// Instr is one architectural instruction in compiler form. The layout is
+// field-for-field identical to vm's decoded instruction (asserted on the
+// vm side), so the decoded stream can be handed to Compile as a zero-copy
+// view instead of being rebuilt per program — compilation is on the hash
+// path.
+type Instr struct {
+	Imm int64
+	// PC is a control instruction's target as a flat instruction index.
+	// The compiler ignores it (present for layout compatibility); block
+	// transfers use Target.
+	PC uint32
+	// Target is a control instruction's target as a BLOCK index (the
+	// generated code transfers between block heads, never raw pcs).
+	Target uint32
+	Op     isa.Opcode
+	// Class is the opcode's resource class; unused by the compiler.
+	Class     isa.Class
+	Dst, A, B uint8
+}
+
+// BlockSpan locates one basic block inside Program.Instrs. Count is the
+// architectural instruction count the whole block retires (== Len here,
+// kept explicit to mirror vm.blockMeta).
+type BlockSpan struct {
+	Start uint32
+	Count uint32
+}
+
+// Program is the compiler's input: the flattened unfused instruction
+// stream plus block structure. Slices are caller-owned and may be reused
+// between Compile calls.
+type Program struct {
+	Instrs []Instr
+	Blocks []BlockSpan
+}
+
+// Compilation limits. Programs beyond these bounds (far beyond anything
+// the generator emits) are refused with ErrTooLarge rather than risking
+// an oversized executable mapping.
+const (
+	maxInstrs = 1 << 22
+	maxBlocks = 1 << 18
+	// maxCodeBytes caps the executable mapping (~64 bytes/instr worst
+	// case would still fit the generator's programs thousands of times
+	// over).
+	maxCodeBytes = 128 << 20
+)
+
+// ErrUnsupported is returned by Compile on platforms without a native
+// backend.
+var ErrUnsupported = errors.New("jit: native backend not supported on this platform")
+
+// ErrTooLarge is returned when a program exceeds the compiler's bounds.
+var ErrTooLarge = errors.New("jit: program too large to compile")

@@ -86,16 +86,25 @@ func (b *Builder) SetBlock(l Label) {
 	b.current = int(l)
 }
 
-// Emit appends a raw instruction to the current block.
+// Emit appends a raw instruction to the current block. It is the single
+// hottest call in widget generation — entered once per generated
+// instruction through the Op3/Op2/immediate wrappers — so the body must
+// stay under the inlining budget: the failure path lives in emitInvalid,
+// and a failed builder (b.err != nil) is not re-checked here. Emitting
+// after a failure just appends to the log, which Build and BuildInto
+// never materialize once an error is recorded, so the error-latching
+// contract is preserved without a second branch.
 func (b *Builder) Emit(ins Instr) {
-	if b.err != nil {
+	if b.current >= 0 {
+		b.log = append(b.log, taggedInstr{ins: ins, block: int32(b.current)})
 		return
 	}
-	if b.current < 0 {
-		b.fail(fmt.Errorf("prog: Emit before NewBlock"))
-		return
-	}
-	b.log = append(b.log, taggedInstr{ins: ins, block: int32(b.current)})
+	b.emitInvalid()
+}
+
+//go:noinline
+func (b *Builder) emitInvalid() {
+	b.fail(fmt.Errorf("prog: Emit before NewBlock"))
 }
 
 // Op3 emits a three-register-operand instruction.

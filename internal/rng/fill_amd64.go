@@ -1,0 +1,40 @@
+//go:build amd64
+
+package rng
+
+// haveFillVector gates the AVX-512 fill kernel. VPMULLQ (the 64-bit lane
+// multiply the mix finalizer needs) is AVX-512DQ; the OS must also have
+// enabled the full AVX-512 register state in XCR0.
+var haveFillVector = detectFillVector()
+
+func detectFillVector() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	if c&osxsave == 0 {
+		return false
+	}
+	// XCR0 bits 1-2: SSE+AVX state; bits 5-7: opmask + ZMM state.
+	if xgetbv0()&0xe6 != 0xe6 {
+		return false
+	}
+	_, b, _, _ := cpuidex(7, 0)
+	const need = 1<<16 | 1<<17 // AVX512F, AVX512DQ
+	return b&need == need
+}
+
+// fillMix64Vector writes words stream outputs (words > 0, a multiple of 16)
+// for word indices 0..words-1 to dst, sixteen lanes per iteration.
+// Bit-identical to splitMix64FillFrom; implemented in fill_amd64.s.
+//
+//go:noescape
+func fillMix64Vector(dst *byte, words uintptr, seed uint64)
+
+// cpuidex executes CPUID with the given leaf and subleaf.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads the low 32 bits of XCR0.
+func xgetbv0() uint32

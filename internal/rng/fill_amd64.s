@@ -1,0 +1,97 @@
+// AVX-512 SplitMix64 bulk fill. The stream output for word i is
+// mix64(seed + (i+1)*phi) — index-parallel, so sixteen lanes are mixed
+// per iteration in two zmm vectors. The scalar fill is bound by the three
+// dependent 64-bit multiplies in mix64; VPMULLQ runs them eight lanes wide.
+
+#include "textflag.h"
+
+// Lane offsets k*phi for k = 1..16 (phi = 0x9e3779b97f4a7c15), so the
+// state vectors start at seed + lanes and step by 16*phi per iteration.
+DATA lanes18<>+0(SB)/8, $0x9e3779b97f4a7c15
+DATA lanes18<>+8(SB)/8, $0x3c6ef372fe94f82a
+DATA lanes18<>+16(SB)/8, $0xdaa66d2c7ddf743f
+DATA lanes18<>+24(SB)/8, $0x78dde6e5fd29f054
+DATA lanes18<>+32(SB)/8, $0x1715609f7c746c69
+DATA lanes18<>+40(SB)/8, $0xb54cda58fbbee87e
+DATA lanes18<>+48(SB)/8, $0x538454127b096493
+DATA lanes18<>+56(SB)/8, $0xf1bbcdcbfa53e0a8
+GLOBL lanes18<>(SB), RODATA|NOPTR, $64
+
+DATA lanes916<>+0(SB)/8, $0x8ff34785799e5cbd
+DATA lanes916<>+8(SB)/8, $0x2e2ac13ef8e8d8d2
+DATA lanes916<>+16(SB)/8, $0xcc623af8783354e7
+DATA lanes916<>+24(SB)/8, $0x6a99b4b1f77dd0fc
+DATA lanes916<>+32(SB)/8, $0x08d12e6b76c84d11
+DATA lanes916<>+40(SB)/8, $0xa708a824f612c926
+DATA lanes916<>+48(SB)/8, $0x454021de755d453b
+DATA lanes916<>+56(SB)/8, $0xe3779b97f4a7c150
+GLOBL lanes916<>(SB), RODATA|NOPTR, $64
+
+DATA fillq<>+0(SB)/8, $0xe3779b97f4a7c150 // 16*phi: per-iteration step
+DATA fillq<>+8(SB)/8, $0xbf58476d1ce4e5b9 // mix64 multiplier 1
+DATA fillq<>+16(SB)/8, $0x94d049bb133111eb // mix64 multiplier 2
+GLOBL fillq<>(SB), RODATA|NOPTR, $24
+
+// func fillMix64Vector(dst *byte, words uintptr, seed uint64)
+TEXT ·fillMix64Vector(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ words+8(FP), CX
+
+	VPBROADCASTQ seed+16(FP), Z0
+	VMOVDQU64    lanes18<>(SB), Z1
+	VMOVDQU64    lanes916<>(SB), Z2
+	VPADDQ       Z1, Z0, Z1 // S1: states for lanes 1-8
+	VPADDQ       Z2, Z0, Z2 // S2: states for lanes 9-16
+	VPBROADCASTQ fillq<>+0(SB), Z6
+	VPBROADCASTQ fillq<>+8(SB), Z4
+	VPBROADCASTQ fillq<>+16(SB), Z5
+
+loop:
+	// mix64 on S1 -> (DI)
+	VPSRLQ    $30, Z1, Z3
+	VPXORQ    Z3, Z1, Z3
+	VPMULLQ   Z4, Z3, Z3
+	VPSRLQ    $27, Z3, Z7
+	VPXORQ    Z7, Z3, Z3
+	VPMULLQ   Z5, Z3, Z3
+	VPSRLQ    $31, Z3, Z7
+	VPXORQ    Z7, Z3, Z3
+	VMOVDQU64 Z3, (DI)
+
+	// mix64 on S2 -> 64(DI)
+	VPSRLQ    $30, Z2, Z3
+	VPXORQ    Z3, Z2, Z3
+	VPMULLQ   Z4, Z3, Z3
+	VPSRLQ    $27, Z3, Z7
+	VPXORQ    Z7, Z3, Z3
+	VPMULLQ   Z5, Z3, Z3
+	VPSRLQ    $31, Z3, Z7
+	VPXORQ    Z7, Z3, Z3
+	VMOVDQU64 Z3, 64(DI)
+
+	VPADDQ Z6, Z1, Z1
+	VPADDQ Z6, Z2, Z2
+	ADDQ   $128, DI
+	SUBQ   $16, CX
+	JNZ    loop
+
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() uint32
+TEXT ·xgetbv0(SB), NOSPLIT, $0-4
+	XORL CX, CX
+	XGETBV
+	MOVL AX, ret+0(FP)
+	RET

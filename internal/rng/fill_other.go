@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package rng
+
+// Non-amd64 platforms always take the portable scalar fill.
+const haveFillVector = false
+
+func fillMix64Vector(dst *byte, words uintptr, seed uint64) {
+	panic("rng: vector fill not available on this platform")
+}

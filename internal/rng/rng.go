@@ -59,16 +59,31 @@ func SplitMix64At(seed, i uint64) uint64 {
 
 // SplitMix64Fill fills mem with the little-endian SplitMix64 stream seeded
 // with seed — byte-identical to writing successive Next() outputs with
-// encoding/binary. Because each output depends only on its index, the loop
-// is unrolled eight-way over independent mixes, letting the CPU pipeline
-// them instead of serializing on a generator state; bulk scratch-memory
-// initialization is one of the VM's hottest non-interpreter loops. Any
-// tail bytes beyond the last full 8-byte word are filled from the next
+// encoding/binary. Because each output depends only on its index, the bulk
+// of the image is computed index-parallel: on CPUs with AVX-512DQ a vector
+// kernel mixes sixteen independent lanes per iteration (the scalar mix is
+// bound by integer-multiply throughput, and bulk scratch-memory
+// initialization is one of the VM's hottest non-interpreter loops);
+// everywhere else a scalar loop unrolled eight-way over independent mixes
+// lets the CPU pipeline them instead of serializing on a generator state.
+// Any tail bytes beyond the last full 8-byte word are filled from the next
 // output's low bytes, matching a sequential little-endian writer.
 func SplitMix64Fill(mem []byte, seed uint64) {
-	const phi = 0x9e3779b97f4a7c15
-	s := seed + phi
 	off := 0
+	if haveFillVector {
+		if words := (len(mem) / 8) &^ 15; words > 0 {
+			fillMix64Vector(&mem[0], uintptr(words), seed)
+			off = words * 8
+		}
+	}
+	splitMix64FillFrom(mem, seed, off)
+}
+
+// splitMix64FillFrom is the portable fill, writing stream outputs for the
+// words from byte offset off (a multiple of 8) to the end of mem.
+func splitMix64FillFrom(mem []byte, seed uint64, off int) {
+	const phi = 0x9e3779b97f4a7c15
+	s := seed + uint64(off/8)*phi + phi
 	for ; off+64 <= len(mem); off += 64 {
 		c := mem[off : off+64 : off+64]
 		s1 := s + phi

@@ -244,3 +244,23 @@ func TestSplitMix64FillMatchesSequential(t *testing.T) {
 		}
 	}
 }
+
+func TestSplitMix64FillVectorMatchesScalar(t *testing.T) {
+	if !haveFillVector {
+		t.Skip("vector fill kernel not available on this CPU")
+	}
+	// Sizes straddling the 8-word vector granule and its scalar tail.
+	for _, n := range []int{64, 65, 71, 72, 127, 128, 129, 4096, 4101, 1 << 16} {
+		for _, seed := range []uint64{0, 1, 0xdeadbeef, ^uint64(0)} {
+			got := make([]byte, n)
+			SplitMix64Fill(got, seed)
+
+			want := make([]byte, n)
+			splitMix64FillFrom(want, seed, 0)
+
+			if !bytes.Equal(got, want) {
+				t.Fatalf("n=%d seed=%#x: vector fill diverges from scalar fill", n, seed)
+			}
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package vm
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+	"unsafe"
+
+	"hashcore/internal/isa"
+	"hashcore/internal/jit"
+)
+
+// Backend selects the unobserved execution engine. The observed loop
+// (Observer attached) always interprets, whatever the backend: it exists
+// to surface every retirement as an Event, which native code cannot do.
+type Backend uint8
+
+const (
+	// BackendAuto runs native code when the platform supports it and the
+	// program compiles, falling back to the fused interpreter otherwise.
+	// This is the zero value, so an unconfigured Machine picks the fastest
+	// engine automatically.
+	BackendAuto Backend = iota
+	// BackendNative requires the native engine (still falls back on
+	// compile failure — the contract is semantic, not mechanical — but
+	// LastRunStats reports the fallback so callers and tests can detect
+	// it).
+	BackendNative
+	// BackendInterp forces the fused interpreter (the portable reference
+	// executor).
+	BackendInterp
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendNative:
+		return "native"
+	case BackendInterp:
+		return "interp"
+	default:
+		return "auto"
+	}
+}
+
+// ParseBackend parses the -backend flag / HASHCORE_BACKEND values.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "auto":
+		return BackendAuto, nil
+	case "native":
+		return BackendNative, nil
+	case "interp":
+		return BackendInterp, nil
+	}
+	return BackendAuto, fmt.Errorf("vm: unknown backend %q (want auto, native or interp)", s)
+}
+
+// NativeSupported reports whether this platform has a native code backend.
+func NativeSupported() bool { return jit.Supported() }
+
+// RunStats describes how the most recent RunInto executed.
+type RunStats struct {
+	// Backend is the engine that actually ran: BackendNative or
+	// BackendInterp (never BackendAuto).
+	Backend Backend
+	// Compiled reports that this run (re)compiled the program to native
+	// code; CompileNs is that compilation's wall time. A cached native run
+	// has Compiled == false and CompileNs == 0.
+	Compiled  bool
+	CompileNs int64
+	// FallbackErr is set when a native backend was requested (native or
+	// auto on a supported platform) but the run fell back to the
+	// interpreter, and records why.
+	FallbackErr error
+}
+
+// SetBackend selects the execution engine for subsequent runs.
+func (m *Machine) SetBackend(b Backend) { m.backend = b }
+
+// BackendSelected resolves the configured backend against the platform:
+// the engine an unobserved run will attempt.
+func (m *Machine) BackendSelected() Backend {
+	if m.backend != BackendInterp && jit.Supported() {
+		return BackendNative
+	}
+	return BackendInterp
+}
+
+// LastRunStats reports how the most recent RunInto executed.
+func (m *Machine) LastRunStats() RunStats { return m.lastStats }
+
+// nativeState is the per-Machine JIT cache: the compiler (which owns the
+// executable mapping), the compiled code for the currently loaded program,
+// and the scratch the native driver reuses every run. All of it reaches a
+// steady state where repeated load/compile/run cycles allocate nothing.
+type nativeState struct {
+	comp  *jit.Compiler
+	code  *jit.Code
+	jprog jit.Program
+	frame jit.Frame
+	execs []uint64 // per-block fast-path execution counters (jit twin of blockMeta.execs)
+
+	// compiledGen keys the cached code to Machine.loadGen: LoadTrusted
+	// bumps the generation, so the first unobserved run of each loaded
+	// program compiles and later runs of the same load hit the cache.
+	compiledGen uint64
+	compileErr  error
+}
+
+// CompileNative eagerly compiles the currently loaded program for the
+// native backend (normally done lazily by the first unobserved run) and
+// returns the generated code size. On platforms without a native backend
+// it returns jit.ErrUnsupported.
+func (m *Machine) CompileNative() (int, error) {
+	if !jit.Supported() {
+		return 0, jit.ErrUnsupported
+	}
+	ns := m.ensureCompiled()
+	if ns.compileErr != nil {
+		return 0, ns.compileErr
+	}
+	return ns.code.Size(), nil
+}
+
+// ensureCompiled returns the native state with code compiled for the
+// current program load, compiling (and timing the compile into lastStats)
+// if the cache is stale.
+func (m *Machine) ensureCompiled() *nativeState {
+	ns := m.native
+	if ns == nil {
+		ns = &nativeState{comp: jit.NewCompiler()}
+		m.native = ns
+	}
+	if ns.compiledGen == m.loadGen {
+		return ns
+	}
+	start := time.Now()
+	m.buildJITProgram(&ns.jprog)
+	ns.code, ns.compileErr = ns.comp.Compile(&ns.jprog)
+	ns.compiledGen = m.loadGen
+	m.lastStats.Compiled = true
+	m.lastStats.CompileNs = time.Since(start).Nanoseconds()
+	return ns
+}
+
+// jit.Instr is declared field-for-field compatible with flatInstr so the
+// decoded unfused stream can be handed to the compiler as a zero-copy
+// view (compilation is per hash; rebuilding ~4k instruction structs per
+// widget was a measurable slice of compile time). This init pins the
+// layout contract.
+func init() {
+	var fi flatInstr
+	var ji jit.Instr
+	if unsafe.Sizeof(fi) != unsafe.Sizeof(ji) ||
+		unsafe.Offsetof(fi.imm) != unsafe.Offsetof(ji.Imm) ||
+		unsafe.Offsetof(fi.target) != unsafe.Offsetof(ji.PC) ||
+		unsafe.Offsetof(fi.aux) != unsafe.Offsetof(ji.Target) ||
+		unsafe.Offsetof(fi.op) != unsafe.Offsetof(ji.Op) ||
+		unsafe.Offsetof(fi.class) != unsafe.Offsetof(ji.Class) ||
+		unsafe.Offsetof(fi.dst) != unsafe.Offsetof(ji.Dst) ||
+		unsafe.Offsetof(fi.a) != unsafe.Offsetof(ji.A) ||
+		unsafe.Offsetof(fi.b) != unsafe.Offsetof(ji.B) {
+		panic("vm: flatInstr and jit.Instr layouts diverged")
+	}
+}
+
+// buildJITProgram presents the decoded unfused stream in the compiler's
+// input form. Instrs is a zero-copy view of m.code (layouts asserted
+// identical above; the compiler never mutates its input), valid until the
+// next LoadTrusted; Blocks is the small per-block span table.
+func (m *Machine) buildJITProgram(p *jit.Program) {
+	p.Instrs = nil
+	if len(m.code) > 0 {
+		p.Instrs = unsafe.Slice((*jit.Instr)(unsafe.Pointer(&m.code[0])), len(m.code))
+	}
+	if cap(p.Blocks) < len(m.blocks) {
+		p.Blocks = make([]jit.BlockSpan, 0, len(m.blocks))
+	}
+	p.Blocks = p.Blocks[:0]
+	for i := range m.blocks {
+		p.Blocks = append(p.Blocks, jit.BlockSpan{Start: m.blocks[i].start, Count: m.blocks[i].count})
+	}
+}
+
+// tryRunNative attempts the native engine for an unobserved run. It
+// reports false — leaving res untouched — when the backend, platform or
+// program requires the interpreter instead.
+func (m *Machine) tryRunNative(params Params, res *Result) bool {
+	if m.backend == BackendInterp || !jit.Supported() {
+		return false
+	}
+	if len(m.blocks) == 0 || m.memSize == 0 {
+		return false
+	}
+	ns := m.ensureCompiled()
+	if ns.compileErr != nil {
+		m.lastStats.FallbackErr = ns.compileErr
+		return false
+	}
+	m.runNative(params, res, ns)
+	return true
+}
+
+// runNative drives compiled code to completion. The structure mirrors
+// runUnobserved exactly: native code IS the fast path (head guards,
+// wholesale accounting, straight-line bodies), and every block it cannot
+// retire wholesale is bounced to the same runBlockSlow the interpreter
+// uses, after which execution re-enters native code at the block the slow
+// path names. Snapshot bytes, truncation points and every counter are
+// therefore bit-identical across engines.
+func (m *Machine) runNative(params Params, res *Result, ns *nativeState) {
+	nb := len(m.blocks)
+	if cap(ns.execs) < nb {
+		ns.execs = make([]uint64, nb)
+	}
+	ns.execs = ns.execs[:nb]
+	for i := range ns.execs {
+		ns.execs[i] = 0
+	}
+
+	st := execState{
+		untilSnap:    params.SnapshotInterval,
+		snapInterval: params.SnapshotInterval,
+		maxInstr:     params.MaxInstructions,
+	}
+	truncated := false
+	bi := uint32(0)
+
+	f := &ns.frame
+	f.Mem = uintptr(unsafe.Pointer(&m.mem[0]))
+	f.MaskAligned = (uint64(m.memSize) - 1) &^ 7
+	f.MaxInstr = st.maxInstr
+	f.ExecsBase = uintptr(unsafe.Pointer(&ns.execs[0]))
+
+	for {
+		// Enter native code at block bi; it runs fast-path blocks until a
+		// boundary, halt or truncation forces an exit.
+		f.IntRegs = m.intRegs
+		f.FPRegs = m.fpRegs
+		f.VecRegs = m.vecRegs
+		f.Retired = st.retired
+		f.UntilSnap = st.untilSnap
+		f.CondBranches = st.condBranches
+		f.TakenBranches = st.takenBranches
+		ns.code.Run(f, bi)
+		m.intRegs = f.IntRegs
+		m.fpRegs = f.FPRegs
+		m.vecRegs = f.VecRegs
+		st.retired = f.Retired
+		st.untilSnap = f.UntilSnap
+		st.condBranches = f.CondBranches
+		st.takenBranches = f.TakenBranches
+
+		if f.Status == jit.StatusHalt {
+			break
+		}
+		// The block straddles a budget or snapshot boundary (or the budget
+		// is exhausted outright): execute it on the exact per-instruction
+		// path — which truncates, snapshots, or retires it exactly as the
+		// interpreter would — then re-enter native code.
+		next, status := m.runBlockSlow(f.NextBlock, &st, res)
+		if status == slowHalt {
+			break
+		}
+		if status == slowTrunc {
+			truncated = true
+			break
+		}
+		bi = next
+	}
+	// The mem/execs uintptrs in the frame die with this call; m and ns
+	// keep the underlying storage alive until here.
+	runtime.KeepAlive(m)
+	runtime.KeepAlive(ns)
+
+	// Identical epilogue to runUnobserved: terminal snapshot, then fold
+	// the deferred fast-path class accounting into the slow path's exact
+	// counts.
+	res.Output = m.appendSnapshot(res.Output, st.retired)
+	res.Snapshots++
+	res.Retired = st.retired
+	res.Truncated = truncated
+	res.CondBranches = st.condBranches
+	res.TakenBranches = st.takenBranches
+	classCounts := st.classCounts
+	for b := range ns.execs {
+		n := ns.execs[b]
+		if n == 0 {
+			continue
+		}
+		t := &m.blockTally[b]
+		for c := 1; c < isa.NumClasses; c++ {
+			classCounts[c] += n * uint64(t[c])
+		}
+	}
+	res.ClassCounts = classCounts
+
+	// Native stores bypass the dirty-word recording, so the pristine-image
+	// bookkeeping no longer describes memory; force the next reset to
+	// regenerate in full.
+	m.memGood = false
+}

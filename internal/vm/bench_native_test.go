@@ -1,0 +1,88 @@
+package vm_test
+
+// Benchmarks decomposing the native backend's per-hash cycle on the
+// production path (fresh LoadTrusted every iteration, exactly like the
+// hashing session: the compile cache never hits). Comparing these against
+// BenchmarkRunUnobserved shows where a native hash's time goes —
+// load, memory-image reset, compile, generated code.
+
+import (
+	"testing"
+
+	"hashcore/internal/vm"
+)
+
+// BenchmarkNativeLoadCompile measures LoadTrusted + JIT compilation alone
+// (no execution): the per-hash price of producing fresh native code.
+func BenchmarkNativeLoadCompile(b *testing.B) {
+	if !vm.NativeSupported() {
+		b.Skip("no native backend on this platform")
+	}
+	p := benchWidget(b)
+	var m vm.Machine
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.LoadTrusted(p)
+		if _, err := m.CompileNative(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNativeCycle is the full production cycle under the native
+// backend: load, compile, reset (full 2 MB image regeneration — programs
+// change every hash, so the dirty-word shortcut never applies) and run.
+func BenchmarkNativeCycle(b *testing.B) {
+	if !vm.NativeSupported() {
+		b.Skip("no native backend on this platform")
+	}
+	p := benchWidget(b)
+	var m vm.Machine
+	m.SetBackend(vm.BackendNative)
+	var res vm.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.LoadTrusted(p)
+		m.RunInto(vm.Params{}, nil, &res)
+	}
+	b.ReportMetric(float64(res.Retired)/(b.Elapsed().Seconds()/float64(b.N))/1e6, "Minstr/s")
+}
+
+// BenchmarkInterpCycle is the same fresh-load cycle under the interpreter,
+// the like-for-like baseline for BenchmarkNativeCycle.
+func BenchmarkInterpCycle(b *testing.B) {
+	p := benchWidget(b)
+	var m vm.Machine
+	m.SetBackend(vm.BackendInterp)
+	var res vm.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.LoadTrusted(p)
+		m.RunInto(vm.Params{}, nil, &res)
+	}
+	b.ReportMetric(float64(res.Retired)/(b.Elapsed().Seconds()/float64(b.N))/1e6, "Minstr/s")
+}
+
+// BenchmarkNativeRunOnly reruns compiled code on a warm machine (cache
+// hit): generated-code speed with load/compile/reset amortized away except
+// the memory-image repair.
+func BenchmarkNativeRunOnly(b *testing.B) {
+	if !vm.NativeSupported() {
+		b.Skip("no native backend on this platform")
+	}
+	p := benchWidget(b)
+	var m vm.Machine
+	m.SetBackend(vm.BackendNative)
+	m.LoadTrusted(p)
+	var res vm.Result
+	m.RunInto(vm.Params{}, nil, &res)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RunInto(vm.Params{}, nil, &res)
+	}
+	b.ReportMetric(float64(res.Retired)/(b.Elapsed().Seconds()/float64(b.N))/1e6, "Minstr/s")
+}

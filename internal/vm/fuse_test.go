@@ -41,6 +41,7 @@ func runBoth(t *testing.T, p *prog.Program, params Params) *Result {
 
 // fusedOps returns the multiset of fused opcodes in m's fused code.
 func fusedOps(m *Machine) map[isa.Opcode]int {
+	m.ensureFused() // fusing is lazy; these tests inspect the stream directly
 	got := map[isa.Opcode]int{}
 	for i := range m.fcode {
 		if m.fcode[i].op.IsFused() {
@@ -234,11 +235,11 @@ func TestRepeatedRunsRepairDirtyWords(t *testing.T) {
 	const seed = 99
 	b := prog.NewBuilder(prog.MinMemSize, seed)
 	b.NewBlock()
-	b.Load(3, 0, 64)  // read word 8 before overwriting it
-	b.MovI(1, 64)     //
-	b.MovI(2, -1)     //
-	b.Store(1, 2, 0)  // clobber word 8
-	b.Store(1, 2, 8)  // and word 9
+	b.Load(3, 0, 64) // read word 8 before overwriting it
+	b.MovI(1, 64)    //
+	b.MovI(2, -1)    //
+	b.Store(1, 2, 0) // clobber word 8
+	b.Store(1, 2, 8) // and word 9
 	b.Halt()
 	p := b.MustBuild()
 	m, err := New(p)
@@ -274,6 +275,7 @@ func TestFusedBlockArchLengthPreserved(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	m.ensureFused()
 	for bi := range m.blocks {
 		meta := &m.blocks[bi]
 		arch := uint32(0)

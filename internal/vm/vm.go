@@ -211,6 +211,16 @@ type Machine struct {
 	intRegs [isa.NumIntRegs]uint64
 	fpRegs  [isa.NumFPRegs]uint64 // IEEE-754 bits
 	vecRegs [isa.NumVecRegs][isa.VecLanes]uint64
+
+	// Native backend state (see backend.go): the configured engine, the
+	// per-Machine JIT cache, the load generation that keys it (and the
+	// lazily built fused stream, see ensureFused), and the last run's
+	// execution report.
+	backend   Backend
+	native    *nativeState
+	loadGen   uint64
+	fusedGen  uint64
+	lastStats RunStats
 }
 
 // maxDirtyWords bounds the dirty-word list (32768 uint32 addresses, 128
@@ -255,8 +265,10 @@ func (m *Machine) Load(p *prog.Program) error {
 // CodeSize reports the lengths of the two decoded instruction streams of
 // the currently loaded program: arch is the unfused architectural stream,
 // fused the superinstruction stream (fused <= arch; arch/fused is the
-// fusion ratio telemetry tracks per widget).
+// fusion ratio telemetry tracks per widget). Fusing is lazy, so calling
+// this builds the fused stream if no interpreter run has needed it yet.
 func (m *Machine) CodeSize() (arch, fused int) {
+	m.ensureFused()
 	return len(m.code), len(m.fcode)
 }
 
@@ -273,6 +285,7 @@ func (m *Machine) CodeSize() (arch, fused int) {
 // program carries them (prog.Builder fills and prog.Validate verifies
 // them) and are recomputed here otherwise.
 func (m *Machine) LoadTrusted(p *prog.Program) {
+	m.loadGen++ // invalidates the native backend's compiled-code cache
 	m.memSize = p.MemSize
 	m.memSeed = p.MemSeed
 
@@ -288,9 +301,9 @@ func (m *Machine) LoadTrusted(p *prog.Program) {
 	}
 
 	if cap(m.code) < total {
-		m.code = make([]flatInstr, 0, total)
+		m.code = make([]flatInstr, total)
 	}
-	m.code = m.code[:0]
+	code := m.code[:total]
 	if cap(m.blocks) < nb {
 		m.blocks = make([]blockMeta, nb)
 	}
@@ -307,13 +320,19 @@ func (m *Machine) LoadTrusted(p *prog.Program) {
 		m.statScratch = p.AppendBlockStats(m.statScratch[:0])
 		stats = m.statScratch
 	}
+	idx := 0
 	for bi := range p.Blocks {
 		instrs := p.Blocks[bi].Instrs
 		meta := &m.blocks[bi]
 		meta.start = blockStart[bi]
 		meta.count = uint32(len(instrs))
 		m.blockTally[bi] = stats[bi].Tally
-		for _, ins := range instrs {
+		// Indexed stores into the presized slice rather than append: the
+		// flatten loop runs once per hash (a fresh program per attempt), and
+		// append's per-element write-back of the m.code header is measurable
+		// at that rate.
+		for i := range instrs {
+			ins := &instrs[i]
 			fi := flatInstr{
 				op:    ins.Op,
 				class: ins.Op.ClassOf(),
@@ -326,16 +345,30 @@ func (m *Machine) LoadTrusted(p *prog.Program) {
 				fi.target = blockStart[ins.Target]
 				fi.aux = ins.Target
 			}
-			m.code = append(m.code, fi)
+			code[idx] = fi
+			idx++
 		}
 	}
+	m.code = code
 
-	// Peephole pass: rewrite each block into its fused superinstruction
-	// form (see fuse.go). Blocks keep their identity — only the intra-block
-	// stream is compressed — so control flow and accounting metadata are
-	// unaffected.
-	if cap(m.fcode) < total {
-		m.fcode = make([]flatInstr, 0, total)
+	// The fused superinstruction stream is built lazily by ensureFused:
+	// the native backend executes the unfused stream directly, so a
+	// native-backed load/run cycle never pays the peephole pass.
+}
+
+// ensureFused brings the fused superinstruction stream (see fuse.go) up
+// to date with the loaded program. It runs the peephole pass at most once
+// per load: the fused interpreter and the fusion-ratio telemetry need it,
+// the native backend does not. Blocks keep their identity — only the
+// intra-block stream is compressed — so control flow and accounting
+// metadata are unaffected.
+func (m *Machine) ensureFused() {
+	if m.fusedGen == m.loadGen {
+		return
+	}
+	m.fusedGen = m.loadGen
+	if cap(m.fcode) < len(m.code) {
+		m.fcode = make([]flatInstr, 0, len(m.code))
 	}
 	m.fcode = m.fcode[:0]
 	for bi := range m.blocks {
@@ -429,8 +462,16 @@ func (m *Machine) RunInto(params Params, obs Observer, res *Result) {
 		}
 		res.Output = make([]byte, 0, estSnaps*SnapshotSize)
 	}
+	m.lastStats = RunStats{Backend: BackendInterp}
 	if obs == nil {
-		m.runUnobserved(params, res)
+		// Unobserved runs may take the native backend (see backend.go);
+		// tryRunNative declines — leaving res untouched — whenever the
+		// backend, platform or program requires the interpreter.
+		if m.tryRunNative(params, res) {
+			m.lastStats.Backend = BackendNative
+		} else {
+			m.runUnobserved(params, res)
+		}
 	} else {
 		m.runObserved(params, obs, res)
 	}
@@ -473,6 +514,7 @@ const (
 //
 // It must retire exactly the architectural state runObserved does.
 func (m *Machine) runUnobserved(params Params, res *Result) {
+	m.ensureFused()
 	fcode := m.fcode
 	blocks := m.blocks
 	mem := m.mem
