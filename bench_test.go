@@ -139,6 +139,12 @@ func TestHashZeroAllocSteadyState(t *testing.T) {
 	// The pooled path is also allocation-free, but a GC anywhere in the
 	// measurement clears the sync.Pool and forces a fresh session, so
 	// tolerate one eviction: re-warm and retry before declaring failure.
+	// Under the race detector the added GC pressure makes evictions the
+	// norm rather than the exception, so the pooled half is skipped there
+	// (the per-session assertion above still runs).
+	if raceEnabled {
+		t.Skip("sync.Pool evictions dominate under the race detector")
+	}
 	pooled := func() float64 {
 		for i := 0; i < 3; i++ { // warm the pool's session
 			if _, err := h.Hash(input); err != nil {

@@ -33,12 +33,16 @@ type ChainStoreBench struct {
 // ChainBenchReport is the machine-readable record of one chain
 // benchmark run (BENCH_chain.json).
 type ChainBenchReport struct {
-	Hasher    string            `json:"hasher"`
-	Blocks    int               `json:"blocks"`
-	GoVersion string            `json:"go_version"`
-	GOARCH    string            `json:"goarch"`
-	Timestamp string            `json:"timestamp"`
-	Stores    []ChainStoreBench `json:"stores"`
+	Hasher    string `json:"hasher"`
+	Blocks    int    `json:"blocks"`
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	Timestamp string `json:"timestamp"`
+	// Backend is the widget execution engine hashcore resolves to on the
+	// recording host (the chain itself mines sha256d; the field keys
+	// cross-host comparability of the whole BENCH_* set).
+	Backend string            `json:"backend"`
+	Stores  []ChainStoreBench `json:"stores"`
 }
 
 // premineChain mines a linear chain of n blocks (plus a one-longer
@@ -124,6 +128,7 @@ func runChainBench(n int, outPath string) error {
 
 	rep := ChainBenchReport{
 		Hasher:    "sha256d",
+		Backend:   resolvedBackendName(),
 		Blocks:    n,
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,

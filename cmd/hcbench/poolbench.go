@@ -19,13 +19,16 @@ import (
 // benchmark run: how many shares per second the pool's server-side
 // pipeline (dedupe, session hash, target check, accounting) sustains.
 type PoolBenchReport struct {
-	Profile    string  `json:"profile"`
-	Shares     int     `json:"shares"`
-	Workers    int     `json:"workers"`
-	QueueDepth int     `json:"queue_depth"`
-	GoVersion  string  `json:"go_version"`
-	GOARCH     string  `json:"goarch"`
-	Timestamp  string  `json:"timestamp"`
+	Profile    string `json:"profile"`
+	Shares     int    `json:"shares"`
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
+	GoVersion  string `json:"go_version"`
+	GOARCH     string `json:"goarch"`
+	Timestamp  string `json:"timestamp"`
+	// Backend is the widget execution engine verifying the shares
+	// (share verification hashes through hashcore sessions).
+	Backend    string  `json:"backend"`
 	SharesPerS float64 `json:"shares_per_sec"`
 	NsPerShare float64 `json:"ns_per_share"`
 	Accepted   uint64  `json:"accepted"`
@@ -116,6 +119,7 @@ func runPoolBench(profileName string, n, workers int, outPath string) error {
 		GoVersion:  runtime.Version(),
 		GOARCH:     runtime.GOARCH,
 		Timestamp:  start.UTC().Format(time.RFC3339),
+		Backend:    resolvedBackendName(),
 		SharesPerS: float64(n) / elapsed.Seconds(),
 		NsPerShare: float64(elapsed.Nanoseconds()) / float64(n),
 		Accepted:   accepted,

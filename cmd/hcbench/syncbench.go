@@ -31,12 +31,16 @@ type SyncStoreBench struct {
 // SyncBenchReport is the machine-readable record of one sync benchmark
 // run (BENCH_sync.json).
 type SyncBenchReport struct {
-	Hasher    string           `json:"hasher"`
-	Blocks    int              `json:"blocks"`
-	GoVersion string           `json:"go_version"`
-	GOARCH    string           `json:"goarch"`
-	Timestamp string           `json:"timestamp"`
-	Stores    []SyncStoreBench `json:"stores"`
+	Hasher    string `json:"hasher"`
+	Blocks    int    `json:"blocks"`
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	Timestamp string `json:"timestamp"`
+	// Backend is the widget execution engine hashcore resolves to on the
+	// recording host (sync replays sha256d blocks; the field keys
+	// cross-host comparability of the whole BENCH_* set).
+	Backend string           `json:"backend"`
+	Stores  []SyncStoreBench `json:"stores"`
 }
 
 // premineLinear mines a linear n-block sha256d chain at the default
@@ -130,6 +134,7 @@ func runSyncBench(n int, outPath string) error {
 
 	rep := SyncBenchReport{
 		Hasher:    "sha256d",
+		Backend:   resolvedBackendName(),
 		Blocks:    n,
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,

@@ -43,6 +43,13 @@ type VMBenchReport struct {
 	// CompileNsPerHash is mean nanoseconds per hash spent compiling
 	// widgets to native code (part of exec_ns; 0 for the interpreter).
 	CompileNsPerHash float64 `json:"compile_ns"`
+	// FillNsPerHash is mean nanoseconds per hash the pipeline spent
+	// blocked on the overlapped scratch-memory fill (part of exec_ns;
+	// near zero when the fill hides fully under generation+compile).
+	FillNsPerHash float64 `json:"fill_ns"`
+	// LoadNsPerHash is mean nanoseconds per hash spent loading generated
+	// widgets into the VM (part of exec_ns).
+	LoadNsPerHash float64 `json:"load_ns"`
 
 	// The gen/exec split: mean nanoseconds per hash spent generating
 	// widget programs vs loading + executing them in the VM. GateNs is the
@@ -60,6 +67,17 @@ type VMBenchReport struct {
 	// (telemetry.HashLatencyBuckets), so offline benchmark runs and live
 	// /metrics scrapes are comparable bucket-for-bucket.
 	LatencyBuckets []bucketJSON `json:"latency_buckets"`
+}
+
+// resolvedBackendName names the widget execution engine an
+// auto-configured hasher runs on this platform — the value the bench
+// reports record in their backend field so numbers from JIT-capable and
+// interpreter-only hosts are never compared as equals.
+func resolvedBackendName() string {
+	if hashcore.NativeBackendSupported() {
+		return "native"
+	}
+	return "interp"
 }
 
 // bucketJSON is one cumulative histogram bucket with the bound rendered
@@ -231,6 +249,8 @@ func runVMBench(profileName, backendFlag string, n int, outPath string) error {
 
 		NsPerHashInterp:  interp.nsPerHash,
 		CompileNsPerHash: float64(head.phases.CompileNs) / float64(n),
+		FillNsPerHash:    float64(head.phases.FillNs) / float64(n),
+		LoadNsPerHash:    float64(head.phases.LoadNs) / float64(n),
 
 		GenNsPerHash:   genNs,
 		ExecNsPerHash:  execNs,
@@ -245,8 +265,9 @@ func runVMBench(profileName, backendFlag string, n int, outPath string) error {
 
 	fmt.Printf("profile=%s n=%d backend=%s  %.1f hashes/s  %.0f ns/hash  %.2f allocs/hash  %.0f B/hash\n",
 		rep.Profile, rep.Iterations, rep.Backend, rep.HashesPerS, rep.NsPerHash, rep.AllocsHash, rep.BytesHash)
-	fmt.Printf("split: gen %.0f ns  exec %.0f ns (compile %.0f ns)  gate %.0f ns  |  %.0f instr/hash  %.1f effective MIPS\n",
-		rep.GenNsPerHash, rep.ExecNsPerHash, rep.CompileNsPerHash, rep.GateNsPerHash, rep.RetiredPerHash, rep.EffectiveMIPS)
+	fmt.Printf("split: gen %.0f ns  exec %.0f ns (compile %.0f, load %.0f, fill-wait %.0f)  gate %.0f ns  |  %.0f instr/hash  %.1f effective MIPS\n",
+		rep.GenNsPerHash, rep.ExecNsPerHash, rep.CompileNsPerHash, rep.LoadNsPerHash, rep.FillNsPerHash,
+		rep.GateNsPerHash, rep.RetiredPerHash, rep.EffectiveMIPS)
 	if native != nil {
 		fmt.Printf("backends: native %.0f ns/hash  interp %.0f ns/hash  (%.2fx)\n",
 			rep.NsPerHashNative, rep.NsPerHashInterp, rep.NsPerHashInterp/rep.NsPerHashNative)

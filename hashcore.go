@@ -270,6 +270,14 @@ func (h *Hasher) NewSession() *Session {
 // reusable state.
 func (s *Session) Hash(input []byte) (Digest, error) { return s.s.Hash(input) }
 
+// Close releases the session's background resources (the scratch-memory
+// fill helper that overlaps memory preparation with widget generation).
+// It is idempotent; the session must not be used afterwards. Sessions
+// that are garbage-collected without Close release the helper through a
+// finalizer, so Close is an optimization for deterministic shutdown, not
+// a leak guard.
+func (s *Session) Close() { s.s.Close() }
+
 // PhaseTimings accumulates the generation/execution wall-clock split of
 // the widget pipeline across HashTimed calls (see core.PhaseTimings). The
 // benchmark harness uses it to attribute hash latency to the generator

@@ -449,6 +449,58 @@ func (op Opcode) Valid() bool {
 	return validTable[op]
 }
 
+// OpMeta packs every per-opcode fact a validation sweep needs into one
+// word, so hot per-instruction loops (prog.Builder's materialize runs once
+// per generated instruction per hash) pay a single table load instead of
+// separate Valid/IsControl/ClassOf/OperandLimits lookups. Layout: bytes
+// 0-2 hold the exclusive dst/a/b operand bounds, byte 3 the class, bit 32
+// validity and bit 33 the control-flow flag.
+type OpMeta uint64
+
+// OpMeta flag bits.
+const (
+	MetaValid   OpMeta = 1 << 32
+	MetaControl OpMeta = 1 << 33
+)
+
+// LimDst returns the exclusive upper bound for the dst operand index.
+func (m OpMeta) LimDst() uint8 { return uint8(m) }
+
+// LimA returns the exclusive upper bound for the a operand index.
+func (m OpMeta) LimA() uint8 { return uint8(m >> 8) }
+
+// LimB returns the exclusive upper bound for the b operand index.
+func (m OpMeta) LimB() uint8 { return uint8(m >> 16) }
+
+// Class returns the opcode's resource class (0 for invalid opcodes).
+func (m OpMeta) Class() Class { return Class(uint8(m >> 24)) }
+
+// metaTable is derived from the canonical predicates; TestOpMetaMatches
+// pins the packing to them for every possible opcode byte.
+var metaTable = func() [256]OpMeta {
+	var t [256]OpMeta
+	for i := 0; i < 256; i++ {
+		op := Opcode(i)
+		if !op.Valid() {
+			continue
+		}
+		dst, a, b := op.OperandLimits()
+		m := OpMeta(dst) | OpMeta(a)<<8 | OpMeta(b)<<16 |
+			OpMeta(op.ClassOf())<<24 | MetaValid
+		if op.IsControl() {
+			m |= MetaControl
+		}
+		t[i] = m
+	}
+	return t
+}()
+
+// MetaOf returns the packed metadata word for op (zero — invalid, no
+// operands permitted — for undefined opcodes).
+func MetaOf(op Opcode) OpMeta {
+	return metaTable[op]
+}
+
 // String returns the assembly mnemonic for op. Fused superinstructions
 // render as "first.second" (e.g. "cmplt.bne") for debugging output.
 func (op Opcode) String() string {

@@ -237,3 +237,32 @@ func TestClassTableMatchesMap(t *testing.T) {
 		}
 	}
 }
+
+// TestOpMetaMatches pins the packed OpMeta word to the canonical
+// per-opcode predicates for every possible opcode byte, including
+// undefined and fused ones (which must read as invalid with all-zero
+// operand bounds).
+func TestOpMetaMatches(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		op := Opcode(i)
+		m := MetaOf(op)
+		if got, want := m&MetaValid != 0, op.Valid(); got != want {
+			t.Errorf("op %d: meta valid = %v, want %v", i, got, want)
+		}
+		if got, want := m&MetaControl != 0, op.Valid() && op.IsControl(); got != want {
+			t.Errorf("op %d: meta control = %v, want %v", i, got, want)
+		}
+		wd, wa, wb := op.OperandLimits()
+		if m.LimDst() != wd || m.LimA() != wa || m.LimB() != wb {
+			t.Errorf("op %d: meta limits = (%d,%d,%d), want (%d,%d,%d)",
+				i, m.LimDst(), m.LimA(), m.LimB(), wd, wa, wb)
+		}
+		var wantClass Class
+		if op.Valid() {
+			wantClass = op.ClassOf()
+		}
+		if m.Class() != wantClass {
+			t.Errorf("op %d: meta class = %v, want %v", i, m.Class(), wantClass)
+		}
+	}
+}

@@ -170,11 +170,13 @@ func (code *Code) Run(f *Frame, block uint32) {
 // Compiler compiles Programs. Not safe for concurrent use; all scratch
 // (emit buffer, fixups, executable mapping) is reused between calls.
 type Compiler struct {
-	buf    []byte
+	buf    []byte // emit arena; len(buf) is capacity, pos the cursor
+	pos    int    // bytes emitted so far (the current code position)
 	heads  []int32
 	slow   []int32
 	fix    []fixup
-	mapped []byte
+	mapped []byte // read+execute view of the code mapping (what runs)
+	wview  []byte // read+write alias of the same pages; nil => mprotect mode
 	code   Code
 	// regMap[r] is the amd64 register holding widget integer register r,
 	// or -1 when r lives in the Frame. Filled by allocRegs per Compile.
@@ -238,6 +240,10 @@ func NewCompiler() *Compiler {
 }
 
 func (c *Compiler) release() {
+	if c.wview != nil {
+		syscall.Munmap(c.wview)
+		c.wview = nil
+	}
 	if c.mapped != nil {
 		syscall.Munmap(c.mapped)
 		c.mapped = nil
@@ -251,7 +257,7 @@ func (c *Compiler) Compile(p *Program) (*Code, error) {
 	if nb > maxBlocks || len(p.Instrs) > maxInstrs {
 		return nil, ErrTooLarge
 	}
-	c.buf = c.buf[:0]
+	c.pos = 0
 	c.fix = c.fix[:0]
 	if cap(c.heads) < nb {
 		c.heads = make([]int32, nb)
@@ -263,7 +269,7 @@ func (c *Compiler) Compile(p *Program) (*Code, error) {
 	c.allocRegs(p)
 	c.emitPrologue()
 	for bi := range p.Blocks {
-		c.heads[bi] = int32(len(c.buf))
+		c.heads[bi] = int32(c.pos)
 		if err := c.emitBlock(p, bi); err != nil {
 			return nil, err
 		}
@@ -278,24 +284,26 @@ func (c *Compiler) Compile(p *Program) (*Code, error) {
 	// undoes the charge the guard's SUB made before borrowing out.
 	// Everything here is cold, so the cost that matters is bytes
 	// compiled, not instructions executed.
-	slowTail := int32(len(c.buf))
+	slowTail := int32(c.pos)
+	c.ensure(regionMax)
 	c.emit2(0x41, 0x89) // MOV DWORD [r15+offNextBlock], eax
 	c.modMem(rAX, r15, offNextBlock)
 	c.mov32MemImm(offStatus, StatusSlow)
 	c.jmpFix(fixEpi, 0)
 	for bi := range p.Blocks {
 		count := int32(p.Blocks[bi].Count)
-		c.slow[bi] = int32(len(c.buf))
+		c.ensure(32) // one stub: undo-charge, MOV eax, JMP
+		c.slow[bi] = int32(c.pos)
 		if count != 0 {
 			c.aluImm(0, r12, count) // undo the countdown charge
 		}
 		c.emit1(0xB8) // MOV eax, bi
 		c.u32(uint32(bi))
-		end := int32(len(c.buf)) + 5
+		end := int32(c.pos) + 5
 		c.emit1(0xE9) // JMP tail (backward, target already known)
 		c.u32(uint32(slowTail - end))
 	}
-	epiPos := int32(len(c.buf))
+	epiPos := int32(c.pos)
 	c.emitEpilogue()
 
 	for _, f := range c.fix {
@@ -316,7 +324,7 @@ func (c *Compiler) Compile(p *Program) (*Code, error) {
 	}
 	base := uintptr(unsafe.Pointer(&c.mapped[0]))
 	c.code.entry = base
-	c.code.size = len(c.buf)
+	c.code.size = c.pos
 	if cap(c.code.heads) < nb {
 		c.code.heads = make([]uintptr, nb)
 	}
@@ -328,29 +336,77 @@ func (c *Compiler) Compile(p *Program) (*Code, error) {
 }
 
 // install copies the emitted code into the executable mapping, growing it
-// W^X-style: the mapping is writable only between Compile's copy and the
-// final mprotect to read+execute.
+// when the program outgrows the current one. With a dual-mapped buffer
+// the copy goes through the write view and no syscall runs; the mprotect
+// fallback toggles the single mapping writable only between the copy and
+// the final flip back to read+execute.
 func (c *Compiler) install() error {
-	n := len(c.buf)
+	n := c.pos
 	if n > maxCodeBytes {
 		return ErrTooLarge
 	}
 	if len(c.mapped) < n {
-		c.release()
-		size := (n*2 + 0xfff) &^ 0xfff // headroom halves remap churn
-		m, err := syscall.Mmap(-1, 0, size,
-			syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE|syscall.MAP_ANON)
-		if err != nil {
-			return fmt.Errorf("jit: mmap: %w", err)
+		if err := c.grow((n*2 + 0xfff) &^ 0xfff); err != nil { // headroom halves remap churn
+			return err
 		}
-		c.mapped = m
-	} else if err := syscall.Mprotect(c.mapped, syscall.PROT_READ|syscall.PROT_WRITE); err != nil {
+	}
+	if c.wview != nil {
+		// Stores through the write alias hit the same physical pages the
+		// execute view fetches from; x86 keeps instruction fetch coherent
+		// with stores to the same physical address, and the return/indirect
+		// call between install and entry provides the required branch.
+		copy(c.wview, c.buf[:n])
+		return nil
+	}
+	if err := syscall.Mprotect(c.mapped, syscall.PROT_READ|syscall.PROT_WRITE); err != nil {
 		return fmt.Errorf("jit: mprotect rw: %w", err)
 	}
-	copy(c.mapped, c.buf)
+	copy(c.mapped, c.buf[:n])
 	if err := syscall.Mprotect(c.mapped, syscall.PROT_READ|syscall.PROT_EXEC); err != nil {
 		return fmt.Errorf("jit: mprotect rx: %w", err)
 	}
+	return nil
+}
+
+// memfd_create(2) on linux/amd64; not wrapped by the syscall package.
+const (
+	sysMemfdCreate = 319
+	mfdCloexec     = 0x1
+)
+
+// grow (re)creates the code mapping with room for size bytes. It prefers
+// a dual-mapped memfd: one read+write view install copies through and one
+// read+execute view the session runs, so the per-hash compile does zero
+// syscalls in steady state while W^X still holds — no page is ever
+// writable and executable at once (the two protections live on distinct
+// virtual mappings of the pages). Kernels or seccomp profiles without
+// memfd_create fall back to a single anonymous mapping that install
+// toggles with an mprotect pair per compile.
+func (c *Compiler) grow(size int) error {
+	c.release()
+	name, _ := syscall.BytePtrFromString("hashcore-jit")
+	if fd, _, errno := syscall.Syscall(sysMemfdCreate, uintptr(unsafe.Pointer(name)), mfdCloexec, 0); errno == 0 {
+		// The mappings keep the pages alive on their own; the fd is only
+		// needed to create them.
+		defer syscall.Close(int(fd))
+		if err := syscall.Ftruncate(int(fd), int64(size)); err == nil {
+			rx, err := syscall.Mmap(int(fd), 0, size, syscall.PROT_READ|syscall.PROT_EXEC, syscall.MAP_SHARED)
+			if err == nil {
+				rw, err := syscall.Mmap(int(fd), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+				if err == nil {
+					c.mapped, c.wview = rx, rw
+					return nil
+				}
+				syscall.Munmap(rx)
+			}
+		}
+	}
+	m, err := syscall.Mmap(-1, 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE|syscall.MAP_ANON)
+	if err != nil {
+		return fmt.Errorf("jit: mmap: %w", err)
+	}
+	c.mapped = m
 	return nil
 }
 
@@ -359,6 +415,7 @@ func (c *Compiler) install() error {
 // emitPrologue loads the mapped state from the Frame and jumps through
 // Frame.Resume to the requested block head.
 func (c *Compiler) emitPrologue() {
+	c.ensure(regionMax)
 	for r := 0; r < isa.NumIntRegs; r++ {
 		if p := c.regMap[r]; p >= 0 {
 			c.opRM(0x8B, int(p), r15, intOff(uint8(r)))
@@ -388,6 +445,7 @@ func (c *Compiler) emitPrologue() {
 // emitEpilogue stores the mapped state back into the Frame and returns to
 // the trampoline.
 func (c *Compiler) emitEpilogue() {
+	c.ensure(regionMax)
 	for r := 0; r < isa.NumIntRegs; r++ {
 		if p := c.regMap[r]; p >= 0 {
 			c.opRM(0x89, int(p), r15, intOff(uint8(r)))
@@ -407,6 +465,7 @@ func (c *Compiler) emitBlock(p *Program, bi int) error {
 	b := p.Blocks[bi]
 	count := int32(b.Count)
 	nb := len(p.Blocks)
+	c.ensure(regionMax) // head guards and wholesale accounting
 
 	// The interpreter's three head guards (retired >= maxInstr -> trunc;
 	// count > maxInstr-retired -> slow; count >= untilSnap -> slow)
@@ -436,6 +495,7 @@ func (c *Compiler) emitBlock(p *Program, bi int) error {
 	c.addMem1(r13, int32(bi)*8)
 
 	for i := b.Start; i < b.Start+b.Count; i++ {
+		c.ensure(regionMax) // one reservation covers any single lowering
 		if err := c.emitInstr(&p.Instrs[i], nb); err != nil {
 			return err
 		}
@@ -794,23 +854,76 @@ func (c *Compiler) canonStore(dst uint8) {
 
 // ---- raw encoding helpers ----
 
-// Fixed-arity emit helpers: append with literal elements compiles to
-// inline stores (no variadic slice construction), which matters — byte
-// emission dominates compile time, and compilation is on the hash path.
-func (c *Compiler) emit1(b0 byte)                 { c.buf = append(c.buf, b0) }
-func (c *Compiler) emit2(b0, b1 byte)             { c.buf = append(c.buf, b0, b1) }
-func (c *Compiler) emit3(b0, b1, b2 byte)         { c.buf = append(c.buf, b0, b1, b2) }
-func (c *Compiler) emit4(b0, b1, b2, b3 byte)     { c.buf = append(c.buf, b0, b1, b2, b3) }
-func (c *Compiler) emit5(b0, b1, b2, b3, b4 byte) { c.buf = append(c.buf, b0, b1, b2, b3, b4) }
-
-func (c *Compiler) u32(v uint32) {
-	c.buf = append(c.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+// put writes the low n bytes of the little-endian packed value v at the
+// cursor and advances it by n. It always stores a full 8-byte word — the
+// bytes past n are slack that the next put overwrites — so every emit
+// helper compiles to one wide store plus a cursor bump instead of n
+// byte stores and a 3-word slice-header write-back. Byte emission
+// dominates compile time and compilation is on the hash path, which is
+// why the buffer is a fixed-length arena driven by c.pos rather than an
+// append target.
+func (c *Compiler) put(v uint64, n int) {
+	p := c.pos
+	// Direct unaligned store: this file is amd64-only, so little-endian
+	// byte order is given, and the raw store keeps put within the
+	// compiler's inlining budget where encoding/binary's byte-wise form
+	// (or a capacity check with a grow call) does not. Capacity is the
+	// caller's contract: every emission region runs under an ensure()
+	// reservation that covers its worst case plus put's 8-byte slack, so
+	// the only check left here is the bounds check the indexing implies.
+	*(*uint64)(unsafe.Pointer(&c.buf[p])) = v
+	c.pos = p + n
 }
 
-func (c *Compiler) u64(v uint64) {
-	c.u32(uint32(v))
-	c.u32(uint32(v >> 32))
+// ensure reserves room for n more code bytes plus put's 8-byte slack.
+// Callers bracket whole emission regions (a prologue, one lowered
+// instruction, a slow stub) with a single generous reservation instead
+// of checking per byte group — regionMax in emitBlock documents the
+// per-instruction worst case.
+func (c *Compiler) ensure(n int) {
+	if len(c.buf)-c.pos < n+8 {
+		c.growBuf()
+	}
 }
+
+// regionMax bounds the code bytes one ensure region may emit: the widest
+// lowering is OpVMul at VecLanes scalar round trips (~22 bytes per lane
+// in disp32 forms), and block heads, prologue and epilogue all fit well
+// under it too. growBuf always frees at least a 64 KiB step, so a single
+// grow satisfies any region.
+const regionMax = 256
+
+// growBuf doubles the emit arena, preserving the emitted prefix. Kept out
+// of ensure's fast path; the arena holds its high-water size across
+// Compile calls, so steady-state compilation never lands here.
+//
+//go:noinline
+func (c *Compiler) growBuf() {
+	newCap := 2 * len(c.buf)
+	if newCap < 1<<16 {
+		newCap = 1 << 16
+	}
+	nb := make([]byte, newCap)
+	copy(nb, c.buf[:c.pos])
+	c.buf = nb
+}
+
+// Fixed-arity emit helpers over put.
+func (c *Compiler) emit1(b0 byte)     { c.put(uint64(b0), 1) }
+func (c *Compiler) emit2(b0, b1 byte) { c.put(uint64(b0)|uint64(b1)<<8, 2) }
+func (c *Compiler) emit3(b0, b1, b2 byte) {
+	c.put(uint64(b0)|uint64(b1)<<8|uint64(b2)<<16, 3)
+}
+func (c *Compiler) emit4(b0, b1, b2, b3 byte) {
+	c.put(uint64(b0)|uint64(b1)<<8|uint64(b2)<<16|uint64(b3)<<24, 4)
+}
+func (c *Compiler) emit5(b0, b1, b2, b3, b4 byte) {
+	c.put(uint64(b0)|uint64(b1)<<8|uint64(b2)<<16|uint64(b3)<<24|uint64(b4)<<32, 5)
+}
+
+func (c *Compiler) u32(v uint32) { c.put(uint64(v), 4) }
+
+func (c *Compiler) u64(v uint64) { c.put(v, 8) }
 
 func rex(w bool, reg, index, rm int) byte {
 	b := byte(0x40)
@@ -845,8 +958,7 @@ func (c *Compiler) modMem(reg, base int, disp int32) {
 	if disp == int32(int8(disp)) {
 		c.emit2(0x40|byte(reg&7)<<3|byte(base&7), byte(disp))
 	} else {
-		c.buf = append(c.buf, 0x80|byte(reg&7)<<3|byte(base&7),
-			byte(disp), byte(disp>>8), byte(disp>>16), byte(disp>>24))
+		c.put(uint64(0x80|byte(reg&7)<<3|byte(base&7))|uint64(uint32(disp))<<8, 5)
 	}
 }
 
@@ -857,13 +969,12 @@ func (c *Compiler) modMem(reg, base int, disp int32) {
 // calls costs a second round of append bookkeeping per instruction.
 func (c *Compiler) opRM(op byte, reg, base int, disp int32) {
 	if disp == int32(int8(disp)) {
-		c.buf = append(c.buf, rex(true, reg, 0, base), op,
-			0x40|byte(reg&7)<<3|byte(base&7), byte(disp))
+		c.put(uint64(rex(true, reg, 0, base))|uint64(op)<<8|
+			uint64(0x40|byte(reg&7)<<3|byte(base&7))<<16|uint64(byte(disp))<<24, 4)
 		return
 	}
-	c.buf = append(c.buf, rex(true, reg, 0, base), op,
-		0x80|byte(reg&7)<<3|byte(base&7),
-		byte(disp), byte(disp>>8), byte(disp>>16), byte(disp>>24))
+	c.put(uint64(rex(true, reg, 0, base))|uint64(op)<<8|
+		uint64(0x80|byte(reg&7)<<3|byte(base&7))<<16|uint64(uint32(disp))<<24, 7)
 }
 
 // memLoad emits reg = [r14 + rax] (the computed scratch-memory address).
@@ -880,12 +991,11 @@ func (c *Compiler) memStore(reg int) {
 // it fits (C7 /0 sign-extends, matching uint64(int64(imm)) semantics).
 func (c *Compiler) movImm64(reg int, v uint64) {
 	if int64(v) == int64(int32(v)) {
-		c.buf = append(c.buf, rex(true, 0, 0, reg), 0xC7, 0xC0|byte(reg&7),
-			byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		c.put(uint64(rex(true, 0, 0, reg))|0xC7<<8|
+			uint64(0xC0|byte(reg&7))<<16|uint64(uint32(v))<<24, 7)
 	} else {
-		c.buf = append(c.buf, rex(true, 0, 0, reg), 0xB8+byte(reg&7),
-			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
-			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+		c.emit2(rex(true, 0, 0, reg), 0xB8+byte(reg&7))
+		c.put(v, 8)
 	}
 }
 
@@ -897,8 +1007,8 @@ func (c *Compiler) aluImm(ext byte, reg int, imm int32) {
 		c.emit4(rex(true, 0, 0, reg), 0x83, 0xC0|ext<<3|byte(reg&7), byte(imm))
 		return
 	}
-	c.buf = append(c.buf, rex(true, 0, 0, reg), 0x81, 0xC0|ext<<3|byte(reg&7),
-		byte(imm), byte(imm>>8), byte(imm>>16), byte(imm>>24))
+	c.put(uint64(rex(true, 0, 0, reg))|0x81<<8|
+		uint64(0xC0|ext<<3|byte(reg&7))<<16|uint64(uint32(imm))<<24, 7)
 }
 
 // addImm adds a 64-bit immediate to reg (RDX is scratch for wide values).
@@ -920,20 +1030,19 @@ func (c *Compiler) addMem1(base int, disp int32) {
 		c.emit5(rex(true, 0, 0, base), 0x83, 0x40|byte(base&7), byte(disp), 1)
 		return
 	}
-	c.buf = append(c.buf, rex(true, 0, 0, base), 0x83, 0x80|byte(base&7),
-		byte(disp), byte(disp>>8), byte(disp>>16), byte(disp>>24), 1)
+	c.put(uint64(rex(true, 0, 0, base))|0x83<<8|uint64(0x80|byte(base&7))<<16|
+		uint64(uint32(disp))<<24|1<<56, 8)
 }
 
 // mov32MemImm emits MOV DWORD [r15+disp], imm32.
 func (c *Compiler) mov32MemImm(disp int32, imm uint32) {
 	if disp == int32(int8(disp)) {
-		c.buf = append(c.buf, 0x41, 0xC7, 0x40|byte(r15&7), byte(disp),
-			byte(imm), byte(imm>>8), byte(imm>>16), byte(imm>>24))
+		c.put(0x41|0xC7<<8|uint64(0x40|byte(r15&7))<<16|uint64(byte(disp))<<24|
+			uint64(imm)<<32, 8)
 		return
 	}
-	c.buf = append(c.buf, 0x41, 0xC7, 0x80|byte(r15&7),
-		byte(disp), byte(disp>>8), byte(disp>>16), byte(disp>>24),
-		byte(imm), byte(imm>>8), byte(imm>>16), byte(imm>>24))
+	c.put(0x41|0xC7<<8|uint64(0x80|byte(r15&7))<<16|uint64(uint32(disp))<<24, 7)
+	c.u32(imm)
 }
 
 // sseRM emits prefix 0F op xmm, [base+disp] (or the store direction,
@@ -962,25 +1071,25 @@ func (c *Compiler) movqXR(xmm, reg int) {
 // jccLocal emits a Jcc rel32 with an unresolved offset; bind resolves it
 // to the current position. cc is the low opcode byte (0F 8x).
 func (c *Compiler) jccLocal(cc byte) int {
-	c.buf = append(c.buf, 0x0F, cc, 0, 0, 0, 0)
-	return len(c.buf) - 4
+	c.put(0x0F|uint64(cc)<<8, 6)
+	return c.pos - 4
 }
 
 func (c *Compiler) jmpLocal() int {
-	c.emit5(0xE9, 0, 0, 0, 0)
-	return len(c.buf) - 4
+	c.put(0xE9, 5)
+	return c.pos - 4
 }
 
 func (c *Compiler) bind(pos int) {
-	binary.LittleEndian.PutUint32(c.buf[pos:], uint32(len(c.buf)-(pos+4)))
+	binary.LittleEndian.PutUint32(c.buf[pos:], uint32(c.pos-(pos+4)))
 }
 
 func (c *Compiler) jccFix(cc byte, kind uint8, block uint32) {
-	c.buf = append(c.buf, 0x0F, cc, 0, 0, 0, 0)
-	c.fix = append(c.fix, fixup{pos: int32(len(c.buf) - 4), block: block, kind: kind})
+	c.put(0x0F|uint64(cc)<<8, 6)
+	c.fix = append(c.fix, fixup{pos: int32(c.pos - 4), block: block, kind: kind})
 }
 
 func (c *Compiler) jmpFix(kind uint8, block uint32) {
-	c.emit5(0xE9, 0, 0, 0, 0)
-	c.fix = append(c.fix, fixup{pos: int32(len(c.buf) - 4), block: block, kind: kind})
+	c.put(0xE9, 5)
+	c.fix = append(c.fix, fixup{pos: int32(c.pos - 4), block: block, kind: kind})
 }

@@ -111,7 +111,7 @@ func (st *genState) emitBody() error {
 	nextDiamond := 0
 
 	for totalFiller > 0 {
-		class := st.pickClass()
+		class := st.pickClass(totalFiller)
 		st.emitFiller(class)
 		st.work[class]--
 		totalFiller--
@@ -170,15 +170,33 @@ func (st *genState) sampleBlockSize() int {
 }
 
 // pickClass selects the class of the next filler instruction, weighted by
-// remaining budget.
-func (st *genState) pickClass() isa.Class {
-	var weights [len(fillerClasses)]float64
+// remaining budget. It accumulates the integer budgets directly instead of
+// materializing a float64 weight vector for rng.Pick — every partial sum
+// is an integer far below 2^53, so each float64 conversion is exact and
+// the target comparisons (and therefore the drawn class sequence) are
+// bit-identical to Pick over the converted weights. The caller passes the
+// remaining filler total it already tracks (work[] entries never go
+// negative, so that running count equals the sum of the positive budgets
+// the weighted draw needs). This runs once per generated filler
+// instruction, so skipping both the vector build and any summation pass
+// is a measurable slice of generation time.
+func (st *genState) pickClass(total int) isa.Class {
+	if total <= 0 {
+		return fillerClasses[0]
+	}
+	target := st.bbv.Float64() * float64(total)
+	acc := 0
 	for i, c := range fillerClasses {
-		if st.work[c] > 0 {
-			weights[i] = float64(st.work[c])
+		w := st.work[c]
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if target < float64(acc) {
+			return fillerClasses[i]
 		}
 	}
-	return fillerClasses[st.bbv.Pick(weights[:])]
+	return fillerClasses[len(fillerClasses)-1]
 }
 
 // emitDiamond writes a balanced if-diamond: a conditional branch over two
@@ -194,7 +212,7 @@ func (st *genState) emitDiamond(ctx *emitCtx, kind diamondKind, totalFiller *int
 	}
 	armClasses := st.armClasses[:0]
 	for i := 0; i < armLen; i++ {
-		c := st.pickClass()
+		c := st.pickClass(*totalFiller)
 		armClasses = append(armClasses, c)
 		st.work[c]--
 		*totalFiller--
@@ -212,7 +230,7 @@ func (st *genState) emitDiamond(ctx *emitCtx, kind diamondKind, totalFiller *int
 		// Condition on the most recently written pool register: it is
 		// frequently a load result, so — as in real branchy code — the
 		// branch resolves late and mispredictions are expensive.
-		src := st.lastIntDst[0]
+		src := st.lastIntDst
 		shiftReg := uint8(regShiftA)
 		if st.branchRng.Intn(2) == 0 {
 			shiftReg = regShiftB

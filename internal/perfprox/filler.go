@@ -2,6 +2,7 @@ package perfprox
 
 import (
 	"hashcore/internal/isa"
+	"hashcore/internal/rng"
 )
 
 // intALUOps are the opcodes (with weights) used for integer-ALU fillers.
@@ -35,16 +36,17 @@ var vecOps = []struct {
 	{isa.OpVBcast, 2}, {isa.OpVRed, 1},
 }
 
-// The weight vectors handed to rng.Pick are invariant, so they are
-// materialized once instead of being rebuilt on every emitted filler
-// (this used to be a measurable share of generation time).
+// The weight vectors are invariant, so their cumulative forms are
+// materialized once and sampled with rng.PickCum — the per-filler weight
+// summation Pick performs used to be a measurable share of generation
+// time, and PickCum draws the bit-identical index without it.
 var (
-	intALUWeights = opWeights(intALUOps)
-	fpWeights     = opWeights(fpOps)
-	vecWeights    = opWeights(vecOps)
+	intALUCum = opCumWeights(intALUOps)
+	fpCum     = opCumWeights(fpOps)
+	vecCum    = opCumWeights(vecOps)
 )
 
-func opWeights(ops []struct {
+func opCumWeights(ops []struct {
 	op     isa.Opcode
 	weight float64
 }) []float64 {
@@ -52,7 +54,7 @@ func opWeights(ops []struct {
 	for i := range ops {
 		w[i] = ops[i].weight
 	}
-	return w
+	return rng.CumWeights(nil, w)
 }
 
 // emitFiller emits one instruction of the requested class into the current
@@ -76,7 +78,7 @@ func (st *genState) emitFiller(class isa.Class) {
 }
 
 func (st *genState) emitIntALU() {
-	op := intALUOps[st.bbv.Pick(intALUWeights)].op
+	op := intALUOps[st.bbv.PickCum(intALUCum)].op
 	dst := st.pickIntDst()
 	switch op {
 	case isa.OpMov:
@@ -97,7 +99,7 @@ func (st *genState) emitIntMul() {
 }
 
 func (st *genState) emitFP() {
-	op := fpOps[st.bbv.Pick(fpWeights)].op
+	op := fpOps[st.bbv.PickCum(fpCum)].op
 	switch op {
 	case isa.OpFCvt:
 		st.b.Op2(op, st.pickFPDst(), st.pickIntSrc())
@@ -119,9 +121,9 @@ const (
 )
 
 func (st *genState) emitLoad() {
-	pattern := st.mem.Pick([]float64{
-		st.prof.MemSequential, st.prof.MemStrided, st.prof.MemRandom, st.prof.MemPointerChase,
-	})
+	// The pattern weights are fixed per profile; planMemory materialized
+	// their cumulative form once for the whole generation.
+	pattern := st.mem.PickCum(st.loadPatCum[:])
 	fp := st.mem.Float64() < st.floadProb
 
 	var base uint8
@@ -157,10 +159,7 @@ func (st *genState) emitLoad() {
 }
 
 func (st *genState) emitStore() {
-	pattern := st.mem.Pick([]float64{
-		st.prof.MemSequential, st.prof.MemStrided,
-		st.prof.MemRandom + st.prof.MemPointerChase, // chase folds into random
-	})
+	pattern := st.mem.PickCum(st.storePatCum[:])
 	fp := st.mem.Float64() < st.fstoreProb
 
 	var base uint8
@@ -190,7 +189,7 @@ func (st *genState) emitStore() {
 }
 
 func (st *genState) emitVector() {
-	op := vecOps[st.bbv.Pick(vecWeights)].op
+	op := vecOps[st.bbv.PickCum(vecCum)].op
 	switch op {
 	case isa.OpVBcast:
 		st.b.Op2(op, st.pickVecDst(), st.pickIntSrc())
@@ -205,48 +204,44 @@ func (st *genState) emitVector() {
 // records it as most-recently-written.
 func (st *genState) pickIntDst() uint8 {
 	dst := uint8(st.bbv.Intn(regPoolSize))
-	st.noteDst(st.lastIntDst[:], dst)
+	st.lastIntDst = dst
 	return dst
 }
 
 // pickIntSrc chooses a source register, biased toward recent destinations
 // so the mean dependency distance approximates the profile's DepDist.
 func (st *genState) pickIntSrc() uint8 {
-	return st.pickSrc(st.lastIntDst[:], regPoolSize)
+	return st.pickSrc(st.lastIntDst, regPoolSize)
 }
 
 func (st *genState) pickFPDst() uint8 {
 	dst := uint8(st.bbv.Intn(isa.NumFPRegs))
-	st.noteDst(st.lastFPDst[:], dst)
+	st.lastFPDst = dst
 	return dst
 }
 
 func (st *genState) pickFPSrc() uint8 {
-	return st.pickSrc(st.lastFPDst[:], isa.NumFPRegs)
+	return st.pickSrc(st.lastFPDst, isa.NumFPRegs)
 }
 
 func (st *genState) pickVecDst() uint8 {
 	dst := uint8(st.bbv.Intn(isa.NumVecRegs))
-	st.noteDst(st.lastVecDst[:], dst)
+	st.lastVecDst = dst
 	return dst
 }
 
 func (st *genState) pickVecSrc() uint8 {
-	return st.pickSrc(st.lastVecDst[:], isa.NumVecRegs)
-}
-
-// noteDst shifts dst into the front of a recency ring.
-func (st *genState) noteDst(ring []uint8, dst uint8) {
-	copy(ring[1:], ring)
-	ring[0] = dst
+	return st.pickSrc(st.lastVecDst, isa.NumVecRegs)
 }
 
 // pickSrc selects a source register: with probability 1/DepDist the most
 // recent destination (a tight dependency), otherwise uniform over the
-// pool.
-func (st *genState) pickSrc(ring []uint8, poolSize int) uint8 {
-	if st.prof.DepDist > 0 && st.bbv.Float64() < 1/st.prof.DepDist {
-		return ring[0]
+// pool. The probability is precomputed by reset (invDepDist is positive
+// exactly when DepDist is), so the per-operand cost is one draw and one
+// compare — this runs two-plus times per emitted filler instruction.
+func (st *genState) pickSrc(last uint8, poolSize int) uint8 {
+	if st.invDepDist > 0 && st.bbv.Float64() < st.invDepDist {
+		return last
 	}
 	return uint8(st.bbv.Intn(poolSize))
 }

@@ -80,25 +80,49 @@ type Scratch struct {
 
 // Generate builds the widget program for the given hash seed. The
 // returned program is independent of the generator and never invalidated
-// (it owns freshly allocated storage via its private scratch).
+// (it owns freshly allocated storage via its private scratch), and is
+// fully materialized — per-block Instrs and the flat stream both filled —
+// so it can be encoded, disassembled and inspected.
 func (g *Generator) Generate(seed Seed) (*prog.Program, error) {
 	var sc Scratch
-	return g.GenerateInto(seed, &sc)
+	sc.st.reset(g.prof, g.params, Split(seed))
+	p, err := sc.st.run(true)
+	if err != nil {
+		return nil, fmt.Errorf("perfprox: generating widget: %w", err)
+	}
+	return p, nil
 }
 
 // GenerateInto builds the widget program for the given hash seed using
 // (and mutating) sc's storage. The returned program aliases sc and is
 // invalidated by the next GenerateInto call on the same Scratch; callers
-// needing longer-lived programs should use Generate. Output is
-// bit-identical to Generate for every seed.
+// needing longer-lived programs should use Generate. The instruction
+// stream drawn is bit-identical to Generate for every seed, but the
+// program is materialized flat-only: Flat and Stats are filled (all the
+// VM's trusted-load path and the JIT consume), while the per-block
+// Instrs views stay empty — hashing sessions execute widgets, they never
+// encode or disassemble them, and skipping the block-shaped copy is a
+// measurable slice of generation time.
 func (g *Generator) GenerateInto(seed Seed, sc *Scratch) (*prog.Program, error) {
 	st := &sc.st
 	st.reset(g.prof, g.params, Split(seed))
-	p, err := st.run()
+	p, err := st.run(false)
 	if err != nil {
 		return nil, fmt.Errorf("perfprox: generating widget: %w", err)
 	}
 	return p, nil
+}
+
+// MemoryPlan reports the scratch-memory declaration — size in bytes and
+// content seed — that the widget generated from seed will carry. It is
+// derived from the hash seed and the profile alone, with no generation
+// work, and by construction equals the MemSize and MemSeed of the program
+// GenerateInto returns for the same seed (the generator passes the same
+// two values to its builder; TestMemoryPlanMatchesGenerated pins this). A
+// hashing session uses it to restore the VM's scratch-memory image
+// concurrently with generation and compilation (vm.Machine.PrepareMemory).
+func (g *Generator) MemoryPlan(seed Seed) (size int, memSeed uint64) {
+	return g.prof.WorkingSet, expandMemSeed(Split(seed).Mem)
 }
 
 // GenerateSource builds the widget and renders it as assembly text — the
@@ -128,13 +152,6 @@ const (
 	regSeq      = 13 // sequential access base
 	regZero     = 14 // always zero
 	regCounter  = 15 // outer loop counter
-)
-
-// Recency-ring depths for the dependency-distance machinery.
-const (
-	intRingLen = regPoolSize
-	fpRingLen  = 4
-	vecRingLen = 3
 )
 
 // genState carries all mutable state for one widget generation. It is
@@ -170,13 +187,24 @@ type genState struct {
 	// Rotating static displacement counters so accesses spread out.
 	seqOff, strideOff int
 
-	// Dependency-distance machinery: recent destinations of the pools.
-	lastIntDst [intRingLen]uint8
-	lastFPDst  [fpRingLen]uint8
-	lastVecDst [vecRingLen]uint8
+	// Dependency-distance machinery: the most recent destination of each
+	// pool (the only recency depth pickSrc's 1/DepDist draw ever reads),
+	// plus that probability precomputed once per generation so the source
+	// pickers avoid a float divide per drawn operand.
+	lastIntDst uint8
+	lastFPDst  uint8
+	lastVecDst uint8
+	invDepDist float64
 
 	floadProb  float64 // probability a load is an fload
 	fstoreProb float64 // probability a store is an fstore
+
+	// Cumulative access-pattern weights (see rng.PickCum), hoisted out of
+	// the per-instruction emit paths by planMemory: the weights are fixed
+	// per profile, and rebuilding + summing the vectors per emitted load
+	// and store was a measurable share of generation time.
+	loadPatCum  [4]float64
+	storePatCum [3]float64
 
 	// Reusable emission scratch (capacity retained across generations).
 	kinds      []diamondKind
@@ -199,16 +227,21 @@ func (st *genState) reset(prof *profile.Profile, params Params, fields Fields) {
 	st.nDiamonds, st.nDataDep, st.nStaticTkn, st.nStatic = 0, 0, 0, 0
 	st.thresh = 0
 	st.seqOff, st.strideOff = 0, 0
-	st.lastIntDst = [intRingLen]uint8{0, 1, 2, 3, 4}
-	st.lastFPDst = [fpRingLen]uint8{0, 1, 2, 3}
-	st.lastVecDst = [vecRingLen]uint8{0, 1, 2}
+	st.lastIntDst, st.lastFPDst, st.lastVecDst = 0, 0, 0
+	st.invDepDist = 0
+	if prof.DepDist > 0 {
+		st.invDepDist = 1 / prof.DepDist
+	}
 	st.floadProb, st.fstoreProb = 0, 0
 }
 
 var errBudget = errors.New("perfprox: class budgets infeasible for structure overhead")
 
-// run executes the generation pipeline.
-func (st *genState) run() (*prog.Program, error) {
+// run executes the generation pipeline. fillBlocks selects full
+// materialization (Generate: inspectable programs) versus flat-only
+// (GenerateInto: executable programs on the hashing hot path); the drawn
+// instruction stream is identical either way.
+func (st *genState) run(fillBlocks bool) (*prog.Program, error) {
 	st.computeBudgets()
 	if err := st.planBranches(); err != nil {
 		return nil, err
@@ -221,7 +254,11 @@ func (st *genState) run() (*prog.Program, error) {
 	if err := st.emitBody(); err != nil {
 		return nil, err
 	}
-	if err := st.b.BuildInto(&st.out); err != nil {
+	if fillBlocks {
+		if err := st.b.BuildInto(&st.out); err != nil {
+			return nil, err
+		}
+	} else if err := st.b.BuildFlatInto(&st.out); err != nil {
 		return nil, err
 	}
 	return &st.out, nil
@@ -230,8 +267,14 @@ func (st *genState) run() (*prog.Program, error) {
 // memSeed expands the 32-bit memory field into the 64-bit scratch-memory
 // content seed.
 func (st *genState) memSeed() uint64 {
+	return expandMemSeed(st.fields.Mem)
+}
+
+// expandMemSeed is the single definition of the memory-field expansion,
+// shared by generation and MemoryPlan so the two can never drift.
+func expandMemSeed(field uint32) uint64 {
 	sm := rng.SplitMix64{}
-	sm.Seed(uint64(st.fields.Mem))
+	sm.Seed(uint64(field))
 	return sm.Next()
 }
 
@@ -329,4 +372,17 @@ func (st *genState) planMemory() {
 		st.floadProb = 0.6
 	}
 	st.fstoreProb = st.floadProb
+
+	// Materialize the cumulative pattern-weight tables the emit paths
+	// sample per access (accumulated exactly as rng.Pick would, so the
+	// drawn patterns are bit-identical to the former per-call vectors).
+	loadW := [4]float64{
+		st.prof.MemSequential, st.prof.MemStrided, st.prof.MemRandom, st.prof.MemPointerChase,
+	}
+	storeW := [3]float64{
+		st.prof.MemSequential, st.prof.MemStrided,
+		st.prof.MemRandom + st.prof.MemPointerChase, // chase folds into random
+	}
+	rng.CumWeights(st.loadPatCum[:0], loadW[:])
+	rng.CumWeights(st.storePatCum[:0], storeW[:])
 }

@@ -408,3 +408,24 @@ func BenchmarkGenerateAndRun(b *testing.B) {
 		}
 	}
 }
+
+// TestMemoryPlanMatchesGenerated pins the contract the overlapped
+// session pipeline rests on: the (size, seed) MemoryPlan predicts from
+// the hash seed alone must equal the memory declaration of the widget
+// that seed generates — otherwise a concurrent pre-fill would be for
+// the wrong image and silently wasted.
+func TestMemoryPlanMatchesGenerated(t *testing.T) {
+	g := newLeelaGen(t)
+	for i := uint64(0); i < 32; i++ {
+		seed := seedFromUint64(i * 0x9e3779b97f4a7c15)
+		size, memSeed := g.MemoryPlan(seed)
+		p, err := g.Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size != p.MemSize || memSeed != p.MemSeed {
+			t.Fatalf("seed %d: MemoryPlan = (%d, %#x), generated widget declares (%d, %#x)",
+				i, size, memSeed, p.MemSize, p.MemSeed)
+		}
+	}
+}

@@ -99,6 +99,21 @@ waitAccept:
 	if accepted.JobID == "" {
 		t.Error("accepted verdict missing job ID")
 	}
+	// The client keeps mining (and OnResult keeps sending) until the
+	// context is cancelled at the bottom; keep draining verdicts so the
+	// easy share target can never fill the buffer and block the client's
+	// read loop mid-teardown.
+	stopDrain := make(chan struct{})
+	defer close(stopDrain)
+	go func() {
+		for {
+			select {
+			case <-results:
+			case <-stopDrain:
+				return
+			}
+		}
+	}()
 
 	// The ledger must agree with the wire verdict.
 	if hr := srv.Accounting().Hashrate("itest-miner"); hr <= 0 {
@@ -227,6 +242,20 @@ func TestIntegrationBlockSolvedAdvancesChain(t *testing.T) {
 	if src.Height() < 1 {
 		t.Errorf("chain height = %d, want >= 1 after a solved block", src.Height())
 	}
+	// Keep draining verdicts until the client has fully stopped, for the
+	// same reason as above: in-flight shares racing the cancel must never
+	// fill the buffer and wedge the read loop.
+	stopDrain := make(chan struct{})
+	defer close(stopDrain)
+	go func() {
+		for {
+			select {
+			case <-results:
+			case <-stopDrain:
+				return
+			}
+		}
+	}()
 	cancel()
 	<-clientDone
 }

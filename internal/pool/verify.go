@@ -144,17 +144,25 @@ func NewPipeline(validator *ShareValidator, hasher pow.Hasher, workers, depth in
 	}
 	for i := 0; i < workers; i++ {
 		sess := hasher
+		owned := false
 		if sh, ok := hasher.(pow.SessionHasher); ok {
 			sess = sh.NewSession()
+			owned = true
 		}
 		p.wg.Add(1)
-		go p.worker(sess)
+		go p.worker(sess, owned)
 	}
 	return p
 }
 
-func (p *Pipeline) worker(sess pow.Hasher) {
+// worker drains the submit queue. owned marks a worker-private session
+// (minted above), whose background resources the worker releases on the
+// way out; a shared hasher is left alone.
+func (p *Pipeline) worker(sess pow.Hasher, owned bool) {
 	defer p.wg.Done()
+	if owned {
+		defer pow.CloseHasher(sess)
+	}
 	hdr := make([]byte, 0, 128)
 	for t := range p.tasks {
 		if p.met != nil {

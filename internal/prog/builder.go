@@ -25,18 +25,24 @@ type Builder struct {
 	current int // index of the block being appended to, -1 if none
 	err     error
 
-	log    []taggedInstr // instructions in emission order
-	arena  []Instr       // block-contiguous storage carved at Build time
-	counts []int         // per-block instruction counts (Build scratch)
-	stats  []BlockStats  // per-block derived metadata (Build scratch)
+	log    []Instr      // instructions in emission order
+	runs   []blockRun   // which block each log segment belongs to
+	arena  []Instr      // block-contiguous storage carved at Build time
+	flat   []FlatInstr  // pre-decoded flat stream, parallel to arena
+	counts []int        // per-block instruction counts (Build scratch)
+	starts []uint32     // per-block flat start offsets (Build scratch)
+	stats  []BlockStats // per-block derived metadata (Build scratch)
 }
 
-// taggedInstr is one emitted instruction plus the block it belongs to
-// (emission may jump between blocks, e.g. branch diamonds fill their arms
-// after the join block exists).
-type taggedInstr struct {
-	ins   Instr
+// blockRun marks where a maximal same-block segment of the emission log
+// begins (it ends where the next run begins). Emission may jump between
+// blocks — branch diamonds fill their arms after the join block exists —
+// but only at NewBlock/SetBlock, so tagging the log per segment instead of
+// per instruction keeps the per-Emit record at a bare Instr and lets
+// materialize hoist all per-block state out of its per-instruction loop.
+type blockRun struct {
 	block int32
+	start int32 // log index where the run begins
 }
 
 // NewBuilder returns a Builder for a program with the given scratch-memory
@@ -59,6 +65,7 @@ func (b *Builder) Reset(memSize int, memSeed uint64) {
 	b.current = -1
 	b.err = nil
 	b.log = b.log[:0]
+	b.runs = b.runs[:0]
 }
 
 // Label names a block created by NewBlock.
@@ -74,6 +81,7 @@ func (b *Builder) NewBlock() Label {
 		b.program.Blocks = append(b.program.Blocks, Block{})
 	}
 	b.current = len(b.program.Blocks) - 1
+	b.noteRun()
 	return Label(b.current)
 }
 
@@ -84,6 +92,23 @@ func (b *Builder) SetBlock(l Label) {
 		return
 	}
 	b.current = int(l)
+	b.noteRun()
+}
+
+// noteRun records that subsequent Emits belong to b.current. An empty
+// pending run (no instructions emitted since the last block switch) is
+// retargeted in place, so consecutive switches cannot grow the run list.
+func (b *Builder) noteRun() {
+	block := int32(b.current)
+	if n := len(b.runs); n > 0 {
+		if last := &b.runs[n-1]; int(last.start) == len(b.log) {
+			last.block = block
+			return
+		} else if last.block == block {
+			return
+		}
+	}
+	b.runs = append(b.runs, blockRun{block: block, start: int32(len(b.log))})
 }
 
 // Emit appends a raw instruction to the current block. It is the single
@@ -96,7 +121,7 @@ func (b *Builder) SetBlock(l Label) {
 // contract is preserved without a second branch.
 func (b *Builder) Emit(ins Instr) {
 	if b.current >= 0 {
-		b.log = append(b.log, taggedInstr{ins: ins, block: int32(b.current)})
+		b.log = append(b.log, ins)
 		return
 	}
 	b.emitInvalid()
@@ -173,10 +198,31 @@ func (b *Builder) fail(err error) {
 }
 
 // materialize carves the emission log into per-block instruction slices
-// backed by the builder's contiguous arena, and fills the program's
-// per-block Stats (length + class tally) in the same pass.
-func (b *Builder) materialize() {
-	nb := len(b.program.Blocks)
+// backed by the builder's contiguous arena, fills the program's per-block
+// Stats (length + class tally) and its pre-decoded Flat stream, and
+// validates structure — all in one pass over the log. The merged checks
+// are exactly Program.Validate's (opcode validity, register ranges,
+// control placement, branch targets, memory declaration, halt
+// reachability; Stats and Flat are consistent by construction), so
+// BuildInto need not run a second full sweep on the hot generation path.
+// Build still runs the canonical Validate afterwards, which keeps every
+// cold-path Build in the test suite doubling as a consistency oracle for
+// this merged pass.
+func (b *Builder) materialize(fillBlocks bool) error {
+	p := &b.program
+	p.Stats, p.Flat = nil, nil
+	nb := len(p.Blocks)
+	if nb == 0 {
+		return ErrNoBlocks
+	}
+	total := len(b.log)
+	if nb > MaxBlocks || total > MaxTotalStatic {
+		return ErrTooLarge
+	}
+	if !isPow2(p.MemSize) || p.MemSize < MinMemSize || p.MemSize > MaxMemSize {
+		return fmt.Errorf("%w: %d", ErrBadMemSize, p.MemSize)
+	}
+
 	if cap(b.counts) < nb {
 		b.counts = make([]int, nb)
 	}
@@ -184,22 +230,48 @@ func (b *Builder) materialize() {
 	for i := range counts {
 		counts[i] = 0
 	}
-	for i := range b.log {
-		counts[b.log[i].block]++
+	for ri := range b.runs {
+		end := total
+		if ri+1 < len(b.runs) {
+			end = int(b.runs[ri+1].start)
+		}
+		counts[b.runs[ri].block] += end - int(b.runs[ri].start)
 	}
 
-	total := len(b.log)
-	if cap(b.arena) < total {
-		b.arena = make([]Instr, total)
+	if cap(b.starts) < nb {
+		b.starts = make([]uint32, nb)
 	}
-	arena := b.arena[:total]
+	starts := b.starts[:nb]
+	var arena []Instr
+	if fillBlocks {
+		if cap(b.arena) < total {
+			b.arena = make([]Instr, total)
+		}
+		arena = b.arena[:total]
+	}
+	if cap(b.flat) < total {
+		b.flat = make([]FlatInstr, total)
+	}
+	flat := b.flat[:total]
 
 	off := 0
 	for bi := 0; bi < nb; bi++ {
 		n := counts[bi]
-		b.program.Blocks[bi].Instrs = arena[off : off : off+n]
+		if n > MaxBlockInstrs {
+			return fmt.Errorf("%w: block %d has %d instructions", ErrTooLarge, bi, n)
+		}
+		starts[bi] = uint32(off)
+		if fillBlocks {
+			p.Blocks[bi].Instrs = arena[off : off : off+n]
+		} else {
+			// Clear any arena view left by a previous materialization of
+			// this Blocks slice: a stale one would alias instructions of
+			// the wrong program.
+			p.Blocks[bi].Instrs = nil
+		}
 		off += n
 	}
+
 	if cap(b.stats) < nb {
 		b.stats = make([]BlockStats, nb)
 	}
@@ -207,15 +279,88 @@ func (b *Builder) materialize() {
 	for i := range stats {
 		stats[i] = BlockStats{}
 	}
-	for i := range b.log {
-		t := &b.log[i]
-		blk := &b.program.Blocks[t.block]
-		blk.Instrs = append(blk.Instrs, t.ins)
-		s := &stats[t.block]
-		s.Len++
-		s.Tally[t.ins.Op.ClassOf()]++
+
+	haveHalt := false
+	for ri := range b.runs {
+		r := b.runs[ri]
+		end := total
+		if ri+1 < len(b.runs) {
+			end = int(b.runs[ri+1].start)
+		}
+		s := &stats[r.block]
+		base := int(starts[r.block])
+		var blk *Block
+		if fillBlocks {
+			blk = &p.Blocks[r.block]
+		}
+		// Whether the block's most recent instruction (possibly from an
+		// earlier run) was control flow; carried forward in a flag so the
+		// misplaced-control check costs one test per instruction instead of
+		// re-reading the previous flat entry.
+		prevControl := false
+		if n := int(s.Len); n > 0 {
+			prevControl = flat[base+n-1].Op.IsControl()
+		}
+		for i := int(r.start); i < end; i++ {
+			ins := b.log[i]
+			ii := int(s.Len)
+			idx := base + ii
+			op := ins.Op
+			meta := isa.MetaOf(op)
+			if meta&isa.MetaValid == 0 {
+				return fmt.Errorf("%w: block %d instr %d (op=%d)", ErrBadOpcode, r.block, ii, op)
+			}
+			if prevControl {
+				return fmt.Errorf("%w: block %d instr %d (%s)",
+					ErrMisplacedControl, r.block, ii-1, flat[idx-1].Op)
+			}
+			if ins.Dst >= meta.LimDst() || ins.A >= meta.LimA() || ins.B >= meta.LimB() {
+				return fmt.Errorf("%w: block %d instr %d (%s)", ErrBadRegister, r.block, ii, op)
+			}
+			fi := FlatInstr{
+				Op:    op,
+				Class: meta.Class(),
+				Dst:   ins.Dst,
+				A:     ins.A,
+				B:     ins.B,
+				Imm:   ins.Imm,
+			}
+			control := meta&isa.MetaControl != 0
+			if control && op != isa.OpHalt {
+				if int(ins.Target) >= nb {
+					return fmt.Errorf("%w: block %d -> %d (have %d blocks)",
+						ErrBadTarget, r.block, ins.Target, nb)
+				}
+				fi.Target = starts[ins.Target]
+				fi.Aux = ins.Target
+			} else if op == isa.OpHalt {
+				haveHalt = true
+			}
+			if fillBlocks {
+				blk.Instrs = append(blk.Instrs, ins)
+			}
+			flat[idx] = fi
+			s.Len++
+			s.Tally[fi.Class]++
+			prevControl = control
+		}
 	}
-	b.program.Stats = stats
+
+	// The last block must not fall through off the end of the program, not
+	// even conditionally (see Validate).
+	lastN := counts[nb-1]
+	if lastN == 0 || !flat[starts[nb-1]+uint32(lastN)-1].Op.IsControl() {
+		return fmt.Errorf("%w: last block falls through", ErrNoHalt)
+	}
+	if term := flat[starts[nb-1]+uint32(lastN)-1].Op; term != isa.OpHalt && term != isa.OpJmp {
+		return fmt.Errorf("%w: last block may fall through (%s terminator)", ErrNoHalt, term)
+	}
+	if !haveHalt {
+		return ErrNoHalt
+	}
+	p.Stats = stats
+	p.Flat = flat
+	return nil
 }
 
 // Build validates and returns the constructed program. The returned
@@ -227,7 +372,9 @@ func (b *Builder) Build() (*Program, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
-	b.materialize()
+	if err := b.materialize(true); err != nil {
+		return nil, err
+	}
 	p := b.program
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -239,14 +386,36 @@ func (b *Builder) Build() (*Program, error) {
 // constructed program and stores it in *out, overwriting the previous
 // contents. Combined with Reset it lets a generation loop reuse one
 // Program value (and the builder's storage) with zero steady-state
-// allocation.
+// allocation. Validation happens inside materialization (one pass over
+// the emission log instead of two); Build additionally re-runs the
+// canonical Validate, pinning the two paths to each other.
 func (b *Builder) BuildInto(out *Program) error {
 	if b.err != nil {
 		return b.err
 	}
-	b.materialize()
+	if err := b.materialize(true); err != nil {
+		return err
+	}
 	*out = b.program
-	return out.Validate()
+	return nil
+}
+
+// BuildFlatInto is BuildInto for consumers that execute the program
+// rather than inspect it: the per-block Instrs views are left empty and
+// only the pre-decoded Flat stream and Stats are produced. Validation is
+// identical to BuildInto (the merged checks run over the flat stream),
+// and the VM's trusted-load path and the JIT consume exactly Flat+Stats,
+// so the generation hot loop skips materializing a second, block-shaped
+// copy of every instruction it will never read.
+func (b *Builder) BuildFlatInto(out *Program) error {
+	if b.err != nil {
+		return b.err
+	}
+	if err := b.materialize(false); err != nil {
+		return err
+	}
+	*out = b.program
+	return nil
 }
 
 // MustBuild is Build for programs constructed from trusted, static code

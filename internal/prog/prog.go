@@ -57,6 +57,28 @@ func (b *Block) Terminator() (Instr, bool) {
 	return Instr{}, false
 }
 
+// FlatInstr is one instruction of a program's pre-decoded flat stream: the
+// instructions of all blocks concatenated in block order, with the derived
+// fields consumers otherwise recompute per load already resolved — Class is
+// Op.ClassOf(), and control instructions (except halt) carry their
+// destination twice: Target is the flat index of the target block's first
+// instruction, Aux the target block index.
+//
+// The field layout is ordered widest-first to pack into 24 bytes and is an
+// ABI shared with the VM's decoded form (and transitively the JIT's input
+// form): vm.LoadTrusted adopts a validated Flat stream as its decoded code
+// by reinterpretation instead of flattening per load, which is why the
+// field order here must never change independently (the VM pins the
+// contract with a layout assertion at init).
+type FlatInstr struct {
+	Imm       int64
+	Target    uint32
+	Aux       uint32
+	Op        isa.Opcode
+	Class     isa.Class
+	Dst, A, B uint8
+}
+
 // BlockStats is derived per-block metadata: the instruction count and the
 // per-class instruction tally of one basic block. The VM's block-batched
 // interpreter uses these to account a whole block in O(1) instead of
@@ -84,11 +106,19 @@ type BlockStats struct {
 // (see BlockStats). It is optional — programs assembled by hand or decoded
 // from the wire may leave it nil and consumers fall back to computing the
 // same data — and is not serialized.
+//
+// Flat, when non-nil, is the pre-decoded flat instruction stream (see
+// FlatInstr). Like Stats it is optional, derived, and never serialized:
+// Builder fills it during materialization and Validate verifies it against
+// the instruction stream when present, so a validated program can never
+// carry a lying Flat. Programs built through a reused Builder alias the
+// builder's storage here, with the same lifetime as Blocks.
 type Program struct {
 	Blocks  []Block
 	MemSize int
 	MemSeed uint64
 	Stats   []BlockStats
+	Flat    []FlatInstr
 }
 
 // AppendBlockStats computes per-block stats for p, appending into dst
@@ -138,6 +168,7 @@ var (
 	ErrBadRegister      = errors.New("prog: register index out of range")
 	ErrNoHalt           = errors.New("prog: no reachable halt instruction")
 	ErrBadStats         = errors.New("prog: Stats disagree with the instruction stream")
+	ErrBadFlat          = errors.New("prog: Flat disagrees with the instruction stream")
 )
 
 // Validate checks the structural well-formedness of p: opcode validity,
@@ -209,7 +240,52 @@ func (p *Program) Validate() error {
 	if !haveHalt {
 		return ErrNoHalt
 	}
-	return statsErr
+	if statsErr != nil {
+		return statsErr
+	}
+	return p.validateFlat()
+}
+
+// validateFlat checks a non-nil Flat stream field-for-field against the
+// instruction stream, so trusted consumers (vm.LoadTrusted) may adopt the
+// Flat of any validated program without re-deriving it. Called by Validate
+// after the structural checks, so block shapes and targets are already
+// known good.
+func (p *Program) validateFlat() error {
+	if p.Flat == nil {
+		return nil
+	}
+	if len(p.Flat) != p.NumInstrs() {
+		return fmt.Errorf("%w: %d flat instrs for %d", ErrBadFlat, len(p.Flat), p.NumInstrs())
+	}
+	starts := make([]uint32, len(p.Blocks))
+	total := uint32(0)
+	for bi := range p.Blocks {
+		starts[bi] = total
+		total += uint32(len(p.Blocks[bi].Instrs))
+	}
+	idx := 0
+	for bi := range p.Blocks {
+		for _, ins := range p.Blocks[bi].Instrs {
+			want := FlatInstr{
+				Op:    ins.Op,
+				Class: ins.Op.ClassOf(),
+				Dst:   ins.Dst,
+				A:     ins.A,
+				B:     ins.B,
+				Imm:   ins.Imm,
+			}
+			if ins.Op.IsControl() && ins.Op != isa.OpHalt {
+				want.Target = starts[ins.Target]
+				want.Aux = ins.Target
+			}
+			if p.Flat[idx] != want {
+				return fmt.Errorf("%w: block %d instr %d", ErrBadFlat, bi, idx)
+			}
+			idx++
+		}
+	}
+	return nil
 }
 
 func checkRegs(ins Instr) error {

@@ -33,6 +33,13 @@ func detectFillVector() bool {
 //go:noescape
 func fillMix64Vector(dst *byte, words uintptr, seed uint64)
 
+// fillMix64VectorNT is the non-temporal-store variant for images much
+// larger than L2: same stream, same constraints, plus dst must be
+// 64-byte aligned. Implemented in fill_amd64.s.
+//
+//go:noescape
+func fillMix64VectorNT(dst *byte, words uintptr, seed uint64)
+
 // cpuidex executes CPUID with the given leaf and subleaf.
 func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 

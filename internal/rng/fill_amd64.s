@@ -78,6 +78,61 @@ loop:
 	VZEROUPPER
 	RET
 
+// func fillMix64VectorNT(dst *byte, words uintptr, seed uint64)
+//
+// Identical stream to fillMix64Vector, stored with non-temporal moves:
+// images much larger than L2 are written once and mostly read back from
+// DRAM anyway, so the regular kernel's read-for-ownership traffic doubles
+// the bus cost for cache lines that will be evicted before reuse. dst
+// must be 64-byte aligned (VMOVNTDQ faults otherwise) and words a
+// positive multiple of 16; the Go gate checks both. The trailing SFENCE
+// orders the weakly-ordered stores before the fill publishes the image.
+TEXT ·fillMix64VectorNT(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ words+8(FP), CX
+
+	VPBROADCASTQ seed+16(FP), Z0
+	VMOVDQU64    lanes18<>(SB), Z1
+	VMOVDQU64    lanes916<>(SB), Z2
+	VPADDQ       Z1, Z0, Z1 // S1: states for lanes 1-8
+	VPADDQ       Z2, Z0, Z2 // S2: states for lanes 9-16
+	VPBROADCASTQ fillq<>+0(SB), Z6
+	VPBROADCASTQ fillq<>+8(SB), Z4
+	VPBROADCASTQ fillq<>+16(SB), Z5
+
+ntloop:
+	// mix64 on S1 -> (DI)
+	VPSRLQ   $30, Z1, Z3
+	VPXORQ   Z3, Z1, Z3
+	VPMULLQ  Z4, Z3, Z3
+	VPSRLQ   $27, Z3, Z7
+	VPXORQ   Z7, Z3, Z3
+	VPMULLQ  Z5, Z3, Z3
+	VPSRLQ   $31, Z3, Z7
+	VPXORQ   Z7, Z3, Z3
+	VMOVNTDQ Z3, (DI)
+
+	// mix64 on S2 -> 64(DI)
+	VPSRLQ   $30, Z2, Z3
+	VPXORQ   Z3, Z2, Z3
+	VPMULLQ  Z4, Z3, Z3
+	VPSRLQ   $27, Z3, Z7
+	VPXORQ   Z7, Z3, Z3
+	VPMULLQ  Z5, Z3, Z3
+	VPSRLQ   $31, Z3, Z7
+	VPXORQ   Z7, Z3, Z3
+	VMOVNTDQ Z3, 64(DI)
+
+	VPADDQ Z6, Z1, Z1
+	VPADDQ Z6, Z2, Z2
+	ADDQ   $128, DI
+	SUBQ   $16, CX
+	JNZ    ntloop
+
+	SFENCE
+	VZEROUPPER
+	RET
+
 // func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 TEXT ·cpuidex(SB), NOSPLIT, $0-24
 	MOVL leaf+0(FP), AX

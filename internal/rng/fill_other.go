@@ -8,3 +8,7 @@ const haveFillVector = false
 func fillMix64Vector(dst *byte, words uintptr, seed uint64) {
 	panic("rng: vector fill not available on this platform")
 }
+
+func fillMix64VectorNT(dst *byte, words uintptr, seed uint64) {
+	panic("rng: vector fill not available on this platform")
+}

@@ -12,6 +12,11 @@
 //   - xoshiro256** (Blackman, Vigna) — the general-purpose stream generator.
 package rng
 
+import (
+	"math/bits"
+	"unsafe"
+)
+
 // SplitMix64 is a 64-bit state PRNG with a single additive state update.
 // It is primarily used to seed xoshiro256** and to derive independent
 // sub-streams from 32-bit seed fields. The zero value is a valid generator
@@ -72,12 +77,26 @@ func SplitMix64Fill(mem []byte, seed uint64) {
 	off := 0
 	if haveFillVector {
 		if words := (len(mem) / 8) &^ 15; words > 0 {
-			fillMix64Vector(&mem[0], uintptr(words), seed)
+			if len(mem) >= ntFillMin && uintptr(unsafe.Pointer(&mem[0]))%64 == 0 {
+				fillMix64VectorNT(&mem[0], uintptr(words), seed)
+			} else {
+				fillMix64Vector(&mem[0], uintptr(words), seed)
+			}
 			off = words * 8
 		}
 	}
 	splitMix64FillFrom(mem, seed, off)
 }
+
+// ntFillMin is the image size from which SplitMix64Fill switches to
+// non-temporal stores. The VM reads the image straight back during
+// widget execution, so bypassing the cache only pays once the image
+// cannot live in any level of it anyway: measured on the repo's 2 MiB
+// leela working set, NT stores cost +500 µs/hash of execution-side
+// DRAM misses against ~60 µs of fill savings. 32 MiB clears the LLC of
+// every deployment core the repo benchmarks on; only the top of the
+// prog.MaxMemSize range (256 MiB) takes this path.
+const ntFillMin = 32 << 20
 
 // splitMix64FillFrom is the portable fill, writing stream outputs for the
 // words from byte offset off (a multiple of 8) to the end of mem.
@@ -202,26 +221,13 @@ func (x *Xoshiro256) Intn(n int) int {
 	}
 }
 
-// mul128 returns the 128-bit product of a and b as (hi, lo).
+// mul128 returns the 128-bit product of a and b as (hi, lo). The full
+// product of two uint64s is exact, so delegating to the hardware multiply
+// via math/bits is bit-identical to the former long-multiplication
+// routine — it is just one instruction instead of eight (Intn sits on the
+// widget generator's per-instruction path).
 func mul128(a, b uint64) (hi, lo uint64) {
-	const mask = 0xffffffff
-	aLo, aHi := a&mask, a>>32
-	bLo, bHi := b&mask, b>>32
-
-	t := aLo * bLo
-	lo = t & mask
-	carry := t >> 32
-
-	t = aHi*bLo + carry
-	mid := t & mask
-	carry = t >> 32
-
-	t = aLo*bHi + mid
-	lo |= (t & mask) << 32
-	carry2 := t >> 32
-
-	hi = aHi*bHi + carry + carry2
-	return hi, lo
+	return bits.Mul64(a, b)
 }
 
 // Float64 returns a uniformly distributed float64 in [0, 1) with 53 bits of
@@ -274,6 +280,45 @@ func (x *Xoshiro256) Pick(weights []float64) int {
 		}
 	}
 	return len(weights) - 1
+}
+
+// PickCum is Pick for callers that hold the cumulative form of an
+// invariant weight vector: cum[i] must equal the running sum of the
+// positive weights through index i, accumulated left to right in the same
+// order Pick adds them (so entries with non-positive weight repeat the
+// previous cumulative value, and cum's last element is Pick's total).
+// Under that contract PickCum consumes one Float64 draw and returns
+// bit-identically the index Pick would have returned — same target, same
+// partial-sum comparisons — while doing no summation per call. If the
+// total is zero it returns 0. CumWeights builds a conforming vector.
+func (x *Xoshiro256) PickCum(cum []float64) int {
+	total := cum[len(cum)-1]
+	if total <= 0 {
+		return 0
+	}
+	target := x.Float64() * total
+	for i, c := range cum {
+		if target < c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+// CumWeights converts a weight vector into the cumulative form PickCum
+// requires, appending into dst (grown as needed and returned). The partial
+// sums are accumulated exactly as Pick accumulates them, which is what
+// makes Pick(weights) and PickCum(CumWeights(nil, weights)) interchangeable
+// draw for draw.
+func CumWeights(dst, weights []float64) []float64 {
+	var acc float64
+	for _, w := range weights {
+		if w > 0 {
+			acc += w
+		}
+		dst = append(dst, acc)
+	}
+	return dst
 }
 
 // Shuffle pseudo-randomly permutes the order of n elements using swap,

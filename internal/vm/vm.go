@@ -33,11 +33,33 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
+	"unsafe"
 
 	"hashcore/internal/isa"
 	"hashcore/internal/prog"
 	"hashcore/internal/rng"
 )
+
+// prog.FlatInstr is declared field-for-field compatible with flatInstr so
+// LoadTrusted can adopt a builder-materialized flat stream as the decoded
+// code without a per-instruction copy. This init pins the layout contract
+// (the jit.Instr twin is pinned in backend.go).
+func init() {
+	var fi flatInstr
+	var pi prog.FlatInstr
+	if unsafe.Sizeof(fi) != unsafe.Sizeof(pi) ||
+		unsafe.Offsetof(fi.imm) != unsafe.Offsetof(pi.Imm) ||
+		unsafe.Offsetof(fi.target) != unsafe.Offsetof(pi.Target) ||
+		unsafe.Offsetof(fi.aux) != unsafe.Offsetof(pi.Aux) ||
+		unsafe.Offsetof(fi.op) != unsafe.Offsetof(pi.Op) ||
+		unsafe.Offsetof(fi.class) != unsafe.Offsetof(pi.Class) ||
+		unsafe.Offsetof(fi.dst) != unsafe.Offsetof(pi.Dst) ||
+		unsafe.Offsetof(fi.a) != unsafe.Offsetof(pi.A) ||
+		unsafe.Offsetof(fi.b) != unsafe.Offsetof(pi.B) {
+		panic("vm: flatInstr and prog.FlatInstr layouts diverged")
+	}
+}
 
 // Default execution parameters.
 const (
@@ -177,7 +199,8 @@ type blockMeta struct {
 // slices, block metadata and scratch memory, so steady-state reloads
 // allocate nothing. A Machine is not safe for concurrent use.
 type Machine struct {
-	code    []flatInstr // unfused: observed loop + slow path
+	code    []flatInstr // unfused: observed loop + slow path (may alias Program.Flat)
+	ownCode []flatInstr // machine-owned decode storage (code points here when not aliasing)
 	fcode   []flatInstr // fused: block-batched unobserved loop
 	memSize int
 	memSeed uint64
@@ -207,6 +230,12 @@ type Machine struct {
 	memGood       bool
 	memGoodSeed   uint64
 	memGoodSize   int
+
+	// memPrepared* record a PrepareMemory call whose image the next reset
+	// may adopt without touching memory (see PrepareMemory).
+	memPrepared     bool
+	memPreparedSeed uint64
+	memPreparedSize int
 
 	intRegs [isa.NumIntRegs]uint64
 	fpRegs  [isa.NumFPRegs]uint64 // IEEE-754 bits
@@ -284,26 +313,22 @@ func (m *Machine) CodeSize() (arch, fused int) {
 // loop account a whole block at once. Tallies come from p.Stats when the
 // program carries them (prog.Builder fills and prog.Validate verifies
 // them) and are recomputed here otherwise.
+//
+// Programs that carry a pre-decoded Flat stream (prog.Builder fills it on
+// the same arena pass that carves the blocks) skip the per-instruction
+// flatten entirely: the machine adopts the arena view in place — layouts
+// are asserted identical at init — and only the O(blocks) metadata is
+// rebuilt. The adopted view follows the program's lifetime contract (it
+// aliases builder storage until the builder's next Reset), which matches
+// the load-then-run-then-regenerate cycle of the hashing session; the
+// native backend's compiler and the fused stream read from the same view,
+// so they too consume the arena without a copy.
 func (m *Machine) LoadTrusted(p *prog.Program) {
 	m.loadGen++ // invalidates the native backend's compiled-code cache
 	m.memSize = p.MemSize
 	m.memSeed = p.MemSeed
 
 	nb := len(p.Blocks)
-	if cap(m.blockStart) < nb {
-		m.blockStart = make([]uint32, nb)
-	}
-	blockStart := m.blockStart[:nb]
-	total := 0
-	for i := range p.Blocks {
-		blockStart[i] = uint32(total)
-		total += len(p.Blocks[i].Instrs)
-	}
-
-	if cap(m.code) < total {
-		m.code = make([]flatInstr, total)
-	}
-	code := m.code[:total]
 	if cap(m.blocks) < nb {
 		m.blocks = make([]blockMeta, nb)
 	}
@@ -320,6 +345,37 @@ func (m *Machine) LoadTrusted(p *prog.Program) {
 		m.statScratch = p.AppendBlockStats(m.statScratch[:0])
 		stats = m.statScratch
 	}
+
+	if flat := p.Flat; len(flat) > 0 && len(p.Stats) == nb {
+		// Arena fast path: reinterpret the validated Flat stream as the
+		// decoded code. Stats carry the per-block lengths, so the metadata
+		// rebuild never touches the instruction stream.
+		m.code = unsafe.Slice((*flatInstr)(unsafe.Pointer(&flat[0])), len(flat))
+		total := uint32(0)
+		for bi := range m.blocks {
+			meta := &m.blocks[bi]
+			meta.start = total
+			meta.count = stats[bi].Len
+			total += stats[bi].Len
+			m.blockTally[bi] = stats[bi].Tally
+		}
+		return
+	}
+
+	if cap(m.blockStart) < nb {
+		m.blockStart = make([]uint32, nb)
+	}
+	blockStart := m.blockStart[:nb]
+	total := 0
+	for i := range p.Blocks {
+		blockStart[i] = uint32(total)
+		total += len(p.Blocks[i].Instrs)
+	}
+
+	if cap(m.ownCode) < total {
+		m.ownCode = make([]flatInstr, total)
+	}
+	code := m.ownCode[:total]
 	idx := 0
 	for bi := range p.Blocks {
 		instrs := p.Blocks[bi].Instrs
@@ -349,6 +405,7 @@ func (m *Machine) LoadTrusted(p *prog.Program) {
 			idx++
 		}
 	}
+	m.ownCode = code
 	m.code = code
 
 	// The fused superinstruction stream is built lazily by ensureFused:
@@ -392,12 +449,29 @@ func (m *Machine) reset() {
 	m.intRegs = [isa.NumIntRegs]uint64{}
 	m.fpRegs = [isa.NumFPRegs]uint64{}
 	m.vecRegs = [isa.NumVecRegs][isa.VecLanes]uint64{}
-	if cap(m.mem) < m.memSize {
-		m.mem = make([]byte, m.memSize)
-	}
-	m.mem = m.mem[:m.memSize]
 
-	sameImage := m.memGood && m.memGoodSeed == m.memSeed && m.memGoodSize == m.memSize
+	// A PrepareMemory call that matches the loaded program's declaration
+	// already left m.mem holding exactly the pristine image restoreMemory
+	// would rebuild here, with all repair bookkeeping up to date — adopt it
+	// and skip the O(memSize) work. The flag is consumed either way: a
+	// prepared image is pristine for one run only.
+	prepared := m.memPrepared
+	m.memPrepared = false
+	if prepared && m.memPreparedSeed == m.memSeed && m.memPreparedSize == m.memSize {
+		return
+	}
+	m.restoreMemory(m.memSize, m.memSeed)
+}
+
+// restoreMemory restores the scratch memory to the pristine image declared
+// by (size, seed), repairing dirty words when possible (see reset).
+func (m *Machine) restoreMemory(size int, seed uint64) {
+	if cap(m.mem) < size {
+		m.mem = make([]byte, size)
+	}
+	m.mem = m.mem[:size]
+
+	sameImage := m.memGood && m.memGoodSeed == seed && m.memGoodSize == size
 	if sameImage && m.trackDirty && !m.dirtyOverflow {
 		// Incremental repair: every word outside m.dirty still holds its
 		// pristine value from the previous restore. The size must match
@@ -405,13 +479,13 @@ func (m *Machine) reset() {
 		// addresses could lie beyond the new image, and a grow-back would
 		// find the extension stale.
 		for _, addr := range m.dirty {
-			binary.LittleEndian.PutUint64(m.mem[addr:], rng.SplitMix64At(m.memSeed, uint64(addr)/8))
+			binary.LittleEndian.PutUint64(m.mem[addr:], rng.SplitMix64At(seed, uint64(addr)/8))
 		}
 		m.dirty = m.dirty[:0]
 		return
 	}
 
-	rng.SplitMix64Fill(m.mem, m.memSeed)
+	rng.SplitMix64Fill(m.mem, seed)
 	m.dirty = m.dirty[:0]
 	m.dirtyOverflow = false
 	// Arm dirty recording only from the second consecutive run of the
@@ -422,8 +496,32 @@ func (m *Machine) reset() {
 		m.dirty = make([]uint32, 0, maxDirtyWords)
 	}
 	m.memGood = true
-	m.memGoodSeed = m.memSeed
-	m.memGoodSize = m.memSize
+	m.memGoodSeed = seed
+	m.memGoodSize = size
+}
+
+// PrepareMemory restores the scratch memory to the pristine image declared
+// by (size, seed) ahead of the program that will declare it. If the next
+// program loaded does declare exactly this image, its first run adopts the
+// prepared memory and skips the O(memSize) restore inside reset; any
+// mismatch (different seed or size, or an intervening run) falls back to
+// the normal restore, so a stale or wrong preparation can never change an
+// execution result — only waste the preparation.
+//
+// The point of the split is overlap: a hashing session knows a widget's
+// memory declaration from the hash seed alone, before the widget is
+// generated, so a helper goroutine can run PrepareMemory concurrently with
+// generation and compilation. PrepareMemory touches only the memory-image
+// state (mem, dirty-repair bookkeeping, the prepared marker) — callers
+// must ensure the Machine is otherwise idle (no Run in flight), but may
+// concurrently load and compile the next program, which touches disjoint
+// machine state. The caller is responsible for synchronizing between
+// PrepareMemory returning and Run/RunInto starting.
+func (m *Machine) PrepareMemory(size int, seed uint64) {
+	m.restoreMemory(size, seed)
+	m.memPrepared = true
+	m.memPreparedSeed = seed
+	m.memPreparedSize = size
 }
 
 // Run executes the program to completion (halt or budget) and returns a
@@ -1478,24 +1576,11 @@ func clampToInt64(f float64) uint64 {
 	}
 }
 
-// mul64 returns the full 128-bit product of a and b.
+// mul64 returns the full 128-bit product of a and b. The full product is
+// exact, so the hardware multiply via math/bits is bit-identical to the
+// former long-multiplication routine on every platform (the JIT backend
+// emits MULX/MUL for the same opcode, pinned by the cross-backend digest
+// tests).
 func mul64(a, b uint64) (hi, lo uint64) {
-	const mask = 0xffffffff
-	aLo, aHi := a&mask, a>>32
-	bLo, bHi := b&mask, b>>32
-
-	t := aLo * bLo
-	lo = t & mask
-	carry := t >> 32
-
-	t = aHi*bLo + carry
-	mid := t & mask
-	carry = t >> 32
-
-	t = aLo*bHi + mid
-	lo |= (t & mask) << 32
-	carry2 := t >> 32
-
-	hi = aHi*bHi + carry + carry2
-	return hi, lo
+	return bits.Mul64(a, b)
 }

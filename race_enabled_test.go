@@ -1,0 +1,8 @@
+//go:build race
+
+package hashcore
+
+// raceEnabled reports whether the race detector is compiled in; test
+// assertions about allocation counts consult it because the detector's
+// added GC pressure evicts sync.Pool contents mid-measurement.
+const raceEnabled = true
