@@ -55,6 +55,7 @@ func main() {
 	dumpWidget := flag.Bool("dump-widget", false, "disassemble the widget selected by -profile/-seed (architectural and fused streams, native code size) and exit")
 	poolN := flag.Int("pooln", 256, "shares for the pool verification benchmark")
 	poolWorkers := flag.Int("poolworkers", 0, "verification workers for the pool benchmark (0 = GOMAXPROCS)")
+	poolConns := flag.Int("poolconns", 10000, "subscriber connections for the pool broadcast fan-out scenario")
 	poolOut := flag.String("poolout", "BENCH_pool.json", "output path for the pool benchmark JSON")
 	chainN := flag.Int("chainn", 512, "blocks for the chain validation/reorg benchmark")
 	chainOut := flag.String("chainout", "BENCH_chain.json", "output path for the chain benchmark JSON")
@@ -89,7 +90,7 @@ func main() {
 		cpuFile = f
 	}
 
-	err := dispatch(*run, *n, *profileName, *seed, *benchN, *benchOut, *backend, *poolN, *poolWorkers, *poolOut, *chainN, *chainOut, *syncN, *syncOut, *telemetryOut)
+	err := dispatch(*run, *n, *profileName, *seed, *benchN, *benchOut, *backend, *poolN, *poolWorkers, *poolConns, *poolOut, *chainN, *chainOut, *syncN, *syncOut, *telemetryOut)
 
 	if cpuFile != nil {
 		pprof.StopCPUProfile()
@@ -125,7 +126,7 @@ func writeMemProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
-func dispatch(run string, n int, profileName string, seed uint64, benchN int, benchOut, backend string, poolN, poolWorkers int, poolOut string, chainN int, chainOut string, syncN int, syncOut, telemetryOut string) error {
+func dispatch(run string, n int, profileName string, seed uint64, benchN int, benchOut, backend string, poolN, poolWorkers, poolConns int, poolOut string, chainN int, chainOut string, syncN int, syncOut, telemetryOut string) error {
 	wants := map[string]bool{}
 	for _, name := range strings.Split(run, ",") {
 		wants[strings.TrimSpace(name)] = true
@@ -226,8 +227,8 @@ func dispatch(run string, n int, profileName string, seed uint64, benchN int, be
 		}
 	}
 	if all || wants["pool"] {
-		fmt.Println("== Pool share-verification throughput ==")
-		if err := runPoolBench(profileName, poolN, poolWorkers, poolOut); err != nil {
+		fmt.Println("== Pool share-verification, admission and fan-out throughput ==")
+		if err := runPoolBench(profileName, poolN, poolWorkers, poolConns, poolOut); err != nil {
 			return err
 		}
 	}

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hashcore"
@@ -15,23 +18,56 @@ import (
 	"hashcore/internal/pow"
 )
 
-// PoolBenchReport is the machine-readable record of one share-verification
-// benchmark run: how many shares per second the pool's server-side
-// pipeline (dedupe, session hash, target check, accounting) sustains.
+// PoolScenario is one pool-bench scenario's record: a clean-traffic
+// verification run, an adversarial flood against the admission tier, or
+// a high-connection broadcast fan-out.
+type PoolScenario struct {
+	Name    string `json:"name"`
+	Workers int    `json:"workers,omitempty"`
+	Shares  int    `json:"shares,omitempty"`
+	Conns   int    `json:"conns,omitempty"`
+
+	SharesPerS float64 `json:"shares_per_sec,omitempty"`
+	NsPerShare float64 `json:"ns_per_share,omitempty"`
+	Accepted   uint64  `json:"accepted,omitempty"`
+
+	// Flood-mix fields: admission-tier rejection throughput and its
+	// cost relative to a full verification.
+	RejectsPerS     float64 `json:"precheck_rejects_per_sec,omitempty"`
+	NsPerReject     float64 `json:"ns_per_reject,omitempty"`
+	SpeedupVsVerify float64 `json:"precheck_speedup_vs_verify,omitempty"`
+
+	// Fan-out fields: marshal-once broadcast over in-memory pipes.
+	Broadcasts   int     `json:"broadcasts,omitempty"`
+	FanoutMsAvg  float64 `json:"fanout_ms_avg,omitempty"`
+	NotifiesPerS float64 `json:"notifies_per_sec,omitempty"`
+}
+
+// PoolBenchReport is the machine-readable record of one pool benchmark
+// run. The top-level throughput fields are the clean single-run
+// headline (kept stable for cross-PR comparison); scenarios carries the
+// multi-worker, flood and fan-out runs.
 type PoolBenchReport struct {
 	Profile    string `json:"profile"`
 	Shares     int    `json:"shares"`
 	Workers    int    `json:"workers"`
 	QueueDepth int    `json:"queue_depth"`
-	GoVersion  string `json:"go_version"`
-	GOARCH     string `json:"goarch"`
-	Timestamp  string `json:"timestamp"`
+	// Conns is the connection count of the broadcast fan-out scenario.
+	Conns     int    `json:"conns"`
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	Timestamp string `json:"timestamp"`
 	// Backend is the widget execution engine verifying the shares
 	// (share verification hashes through hashcore sessions).
 	Backend    string  `json:"backend"`
 	SharesPerS float64 `json:"shares_per_sec"`
 	NsPerShare float64 `json:"ns_per_share"`
 	Accepted   uint64  `json:"accepted"`
+	// RejectsPerS is the flood scenario's headline: admission-tier
+	// rejections per second, shares that never touch a hashing session.
+	RejectsPerS float64 `json:"precheck_rejects_per_sec"`
+
+	Scenarios []PoolScenario `json:"scenarios"`
 }
 
 // benchSource is a fixed-difficulty TemplateSource so the benchmark
@@ -51,81 +87,330 @@ func (s *benchSource) Template() (blockchain.Header, int, error) {
 
 func (s *benchSource) SubmitBlock(blockchain.Header) error { return nil }
 
-// runPoolBench measures server-side share-verification throughput: n
-// distinct shares against a near-free share target (so every one takes
-// the full accept path — seen-set, session hash, target check, ledger)
-// through a verification pipeline sized like hcpoold's default.
-func runPoolBench(profileName string, n, workers int, outPath string) error {
-	if n < 1 {
-		n = 1
-	}
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	h, err := hashcore.New(hashcore.WithProfile(profileName))
-	if err != nil {
-		return err
-	}
+// benchStack is one self-contained ingest stack: job window, dedupe
+// set, ledger, admission tier and verification fleet.
+type benchStack struct {
+	jm   *pool.JobManager
+	acct *pool.Accounting
+	pre  *pool.Precheck
+	pipe *pool.Pipeline
+	job  *pool.Job
+}
 
+func newBenchStack(h pool.Hasher, workers, queueDepth int) (*benchStack, error) {
 	// Block target of zero (impossible) keeps the block path quiet; the
 	// share target accepts essentially every digest.
 	shareBits := pow.TargetToCompact(pow.Target(hashcore.TargetWithZeroBits(0)))
 	jm, err := pool.NewJobManager(&benchSource{bits: 0x01000001}, shareBits, 1<<30, 2)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	job, err := jm.Refresh(true)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	acct := pool.NewAccounting()
-	validator := pool.NewShareValidator(jm, pool.NewSeenSet(1<<16), acct, nil)
-	queueDepth := 256
-	pipe := pool.NewPipeline(validator, pool.WrapHasher(h), workers, queueDepth)
+	seen := pool.NewSeenSet(1 << 16)
+	validator := pool.NewShareValidator(jm, seen, acct, nil)
+	return &benchStack{
+		jm:   jm,
+		acct: acct,
+		pre:  pool.NewPrecheck(jm, seen, acct, 0, 0),
+		pipe: pool.NewPipeline(validator, h, workers, queueDepth),
+		job:  job,
+	}, nil
+}
+
+// runCleanScenario measures clean-traffic verification throughput: n
+// distinct shares from several miners through the tiered ingest path —
+// admission pre-check, then the sharded fleet — every one taking the
+// full accept path (dedupe insert, session hash, target check, ledger).
+func runCleanScenario(name string, h pool.Hasher, n, workers, queueDepth int) (PoolScenario, error) {
+	st, err := newBenchStack(h, workers, queueDepth)
+	if err != nil {
+		return PoolScenario{}, err
+	}
+	defer st.pipe.Close()
+
+	// A few miners per shard so the fleet actually fans out.
+	miners := make([]string, workers*2)
+	for i := range miners {
+		miners[i] = fmt.Sprintf("bench-%d", i)
+	}
+	jobID := []byte(st.job.ID)
+
+	submit := func(miner string, nonce uint64, reply func(pool.ShareResult)) error {
+		job, rej, admitted := st.pre.Admit(miner, jobID, nonce)
+		if !admitted {
+			return fmt.Errorf("clean share rejected at admission: %+v", rej)
+		}
+		return st.pipe.SubmitAdmitted(context.Background(), miner, job, nonce, reply)
+	}
 
 	// Warm the sessions past their allocation high-water marks.
 	var warm sync.WaitGroup
 	for i := 0; i < workers*4; i++ {
 		warm.Add(1)
-		if err := pipe.Submit(context.Background(), "warm", job.ID, uint64(1<<40)+uint64(i), func(pool.ShareResult) { warm.Done() }); err != nil {
-			return err
+		if err := submit(miners[i%len(miners)], uint64(1<<40)+uint64(i), func(pool.ShareResult) { warm.Done() }); err != nil {
+			return PoolScenario{}, err
 		}
 	}
 	warm.Wait()
 
 	var wg sync.WaitGroup
 	wg.Add(n)
+	reply := func(pool.ShareResult) { wg.Done() }
 	start := time.Now()
 	for i := 0; i < n; i++ {
-		if err := pipe.Submit(context.Background(), "bench", job.ID, uint64(i), func(pool.ShareResult) { wg.Done() }); err != nil {
-			return err
+		if err := submit(miners[i%len(miners)], uint64(i), reply); err != nil {
+			return PoolScenario{}, err
 		}
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	pipe.Close()
 
 	var accepted uint64
-	for _, m := range acct.Snapshot() {
-		if m.Miner == "bench" {
-			accepted = m.Accepted
-		}
-	}
-	rep := PoolBenchReport{
-		Profile:    profileName,
-		Shares:     n,
+	tot := st.acct.Totals()
+	accepted = tot.Accepted - uint64(workers*4) // minus warm-up shares
+
+	return PoolScenario{
+		Name:       name,
 		Workers:    workers,
-		QueueDepth: queueDepth,
-		GoVersion:  runtime.Version(),
-		GOARCH:     runtime.GOARCH,
-		Timestamp:  start.UTC().Format(time.RFC3339),
-		Backend:    resolvedBackendName(),
+		Shares:     n,
 		SharesPerS: float64(n) / elapsed.Seconds(),
 		NsPerShare: float64(elapsed.Nanoseconds()) / float64(n),
 		Accepted:   accepted,
+	}, nil
+}
+
+// runFloodScenario measures the admission tier under adversarial
+// traffic: a duplicate storm, an unknown-job storm and a rate-limited
+// flood, none of which may reach a hashing session. The scenario
+// records rejections/sec and the cost ratio against a full clean-path
+// verification (cleanNsPerShare).
+func runFloodScenario(h pool.Hasher, n int, cleanNsPerShare float64) (PoolScenario, error) {
+	st, err := newBenchStack(h, 1, 16)
+	if err != nil {
+		return PoolScenario{}, err
 	}
-	fmt.Printf("profile=%s shares=%d workers=%d  %.1f shares/s  %.0f ns/share  (%d accepted)\n",
-		rep.Profile, rep.Shares, rep.Workers, rep.SharesPerS, rep.NsPerShare, rep.Accepted)
+	defer st.pipe.Close()
+	jobID := []byte(st.job.ID)
+
+	// Seed one legitimate share, then flood with replays of it, stale
+	// submissions and a rate-limited miner, round-robin — the
+	// adversarial mix. Rejections happen inline on this goroutine; the
+	// fleet stays idle, which is the point.
+	if job, _, admitted := st.pre.Admit("victim", jobID, 1); !admitted {
+		return PoolScenario{}, fmt.Errorf("seed share rejected")
+	} else {
+		done := make(chan struct{})
+		if err := st.pipe.SubmitAdmitted(context.Background(), "victim", job, 1, func(pool.ShareResult) { close(done) }); err != nil {
+			return PoolScenario{}, err
+		}
+		<-done
+	}
+	limited := pool.NewPrecheck(st.jm, pool.NewSeenSet(1<<10), st.acct, 1, 1)
+	staleID := []byte("no-such-job")
+	// Exhaust the rate-limited miner's burst allowance.
+	limited.Admit("flooder", jobID, 1<<50)
+
+	rejects := 0
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0: // duplicate replay
+			if _, _, admitted := st.pre.Admit("replayer", jobID, 1); admitted {
+				return PoolScenario{}, fmt.Errorf("duplicate admitted")
+			}
+		case 1: // unknown/expired job
+			if _, _, admitted := st.pre.Admit("stale-miner", staleID, uint64(i)); admitted {
+				return PoolScenario{}, fmt.Errorf("stale admitted")
+			}
+		case 2: // over the rate limit
+			if _, _, admitted := limited.Admit("flooder", jobID, uint64(i)); admitted {
+				return PoolScenario{}, fmt.Errorf("rate-limited share admitted")
+			}
+		}
+		rejects++
+	}
+	elapsed := time.Since(start)
+
+	nsPerReject := float64(elapsed.Nanoseconds()) / float64(rejects)
+	sc := PoolScenario{
+		Name:        "flood_mix",
+		Shares:      n,
+		RejectsPerS: float64(rejects) / elapsed.Seconds(),
+		NsPerReject: nsPerReject,
+	}
+	if nsPerReject > 0 {
+		sc.SpeedupVsVerify = cleanNsPerShare / nsPerReject
+	}
+	return sc, nil
+}
+
+// runFanoutScenario measures marshal-once broadcast fan-out: conns
+// subscribers over in-memory pipes (fd-free, so 10k+ connections fit in
+// any environment), timing how long each broadcast takes to reach every
+// subscriber.
+func runFanoutScenario(h pool.Hasher, conns, broadcasts int) (PoolScenario, error) {
+	shareBits := pow.TargetToCompact(pow.Target(hashcore.TargetWithZeroBits(0)))
+	srv, err := pool.NewServer(pool.Config{
+		Addr:            "127.0.0.1:0",
+		ShareBits:       shareBits,
+		VerifyWorkers:   1,
+		RefreshInterval: -1,
+		WriteTimeout:    30 * time.Second,
+		Logf:            func(string, ...any) {},
+	}, h, &benchSource{bits: 0x01000001})
+	if err != nil {
+		return PoolScenario{}, err
+	}
+	if err := srv.Start(); err != nil {
+		return PoolScenario{}, err
+	}
+	defer srv.Shutdown(context.Background())
+
+	var notifies atomic.Int64
+	clients := make([]net.Conn, 0, conns)
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	var readers sync.WaitGroup
+	subscribe := []byte(`{"type":"subscribe","miner":"fan"}` + "\n")
+	for i := 0; i < conns; i++ {
+		cl, sv := net.Pipe()
+		if err := srv.ServeConn(sv); err != nil {
+			return PoolScenario{}, err
+		}
+		clients = append(clients, cl)
+		readers.Add(1)
+		go func(c net.Conn) {
+			defer readers.Done()
+			rd := bufio.NewReaderSize(c, 2048)
+			if _, err := c.Write(subscribe); err != nil {
+				return
+			}
+			for {
+				line, err := rd.ReadSlice('\n')
+				if err != nil {
+					return
+				}
+				// Cheap notify detection: every notify line carries the
+				// job object; the handshake's other messages do not.
+				if len(line) > 20 && string(line[9:15]) == "notify" {
+					notifies.Add(1)
+				}
+			}
+		}(cl)
+	}
+
+	// Wait for every subscriber's handshake notify before timing.
+	deadline := time.Now().Add(60 * time.Second)
+	for notifies.Load() < int64(conns) {
+		if time.Now().After(deadline) {
+			return PoolScenario{}, fmt.Errorf("handshake: %d/%d notifies after 60s", notifies.Load(), conns)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	for b := 1; b <= broadcasts; b++ {
+		if err := srv.RefreshNow(false); err != nil {
+			return PoolScenario{}, err
+		}
+		want := int64(conns * (b + 1))
+		for notifies.Load() < want {
+			if time.Now().After(deadline) {
+				return PoolScenario{}, fmt.Errorf("broadcast %d: %d/%d notifies after deadline", b, notifies.Load(), want)
+			}
+			runtime.Gosched()
+		}
+	}
+	elapsed := time.Since(start)
+
+	total := conns * broadcasts
+	return PoolScenario{
+		Name:         "fanout",
+		Conns:        conns,
+		Broadcasts:   broadcasts,
+		FanoutMsAvg:  elapsed.Seconds() * 1000 / float64(broadcasts),
+		NotifiesPerS: float64(total) / elapsed.Seconds(),
+	}, nil
+}
+
+// runPoolBench runs the pool benchmark suite: clean verification at the
+// configured and at multi-worker fleet widths, the adversarial flood
+// against the admission tier, and the broadcast fan-out at conns
+// subscribers, writing one JSON report.
+func runPoolBench(profileName string, n, workers, conns int, outPath string) error {
+	if n < 1 {
+		n = 1
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if conns < 1 {
+		conns = 10000
+	}
+	h, err := hashcore.New(hashcore.WithProfile(profileName))
+	if err != nil {
+		return err
+	}
+	wrapped := pool.WrapHasher(h)
+	queueDepth := 256
+
+	clean, err := runCleanScenario("clean", wrapped, n, workers, queueDepth)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clean: workers=%d  %.1f shares/s  %.0f ns/share  (%d accepted)\n",
+		clean.Workers, clean.SharesPerS, clean.NsPerShare, clean.Accepted)
+
+	multiWorkers := workers * 4
+	if multiWorkers < 4 {
+		multiWorkers = 4
+	}
+	multi, err := runCleanScenario("clean_multiworker", wrapped, n, multiWorkers, queueDepth)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clean_multiworker: workers=%d  %.1f shares/s  %.0f ns/share\n",
+		multi.Workers, multi.SharesPerS, multi.NsPerShare)
+
+	floodN := n * 100 // rejections are orders of magnitude cheaper
+	flood, err := runFloodScenario(wrapped, floodN, clean.NsPerShare)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flood_mix: %.0f rejects/s  %.0f ns/reject  (%.0fx cheaper than full verify)\n",
+		flood.RejectsPerS, flood.NsPerReject, flood.SpeedupVsVerify)
+
+	broadcasts := 5
+	fanout, err := runFanoutScenario(wrapped, conns, broadcasts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fanout: conns=%d  %.1f ms/broadcast  %.0f notifies/s\n",
+		fanout.Conns, fanout.FanoutMsAvg, fanout.NotifiesPerS)
+
+	rep := PoolBenchReport{
+		Profile:     profileName,
+		Shares:      n,
+		Workers:     clean.Workers,
+		QueueDepth:  queueDepth,
+		Conns:       fanout.Conns,
+		GoVersion:   runtime.Version(),
+		GOARCH:      runtime.GOARCH,
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		Backend:     resolvedBackendName(),
+		SharesPerS:  clean.SharesPerS,
+		NsPerShare:  clean.NsPerShare,
+		Accepted:    clean.Accepted,
+		RejectsPerS: flood.RejectsPerS,
+		Scenarios:   []PoolScenario{clean, multi, flood, fanout},
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -5,10 +5,14 @@
 // Usage:
 //
 //	hcminer [-pool 127.0.0.1:3333] [-name worker1] [-workers N] [-profile leela]
+//	hcminer -conns 5000 [-pool 127.0.0.1:3333]   # load generator, no mining
 //
 // Run several instances (distinct -name values) against one hcpoold to
 // watch the pool's per-miner accounting and hashrate estimates at its
-// /stats endpoint. Stop with SIGINT/SIGTERM.
+// /stats endpoint. With -conns N it instead becomes a pool load
+// generator: N subscribed connections that drain every job broadcast
+// without mining, for exercising fan-out at scale. Stop with
+// SIGINT/SIGTERM.
 package main
 
 import (
@@ -33,7 +37,18 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-share output")
 	metricsAddr := flag.String("metrics-addr", "", "debug HTTP listen address: /metrics, /events, /healthz, pprof (empty disables)")
 	backendFlag := flag.String("backend", "auto", "widget execution engine: auto, native or interp (HASHCORE_BACKEND also applies)")
+	conns := flag.Int("conns", 0, "load-generator mode: open this many subscriber connections and count notifies instead of mining")
 	flag.Parse()
+
+	if *conns > 0 {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := runLoadGen(ctx, *poolAddr, *name, *conns); err != nil {
+			fmt.Fprintln(os.Stderr, "hcminer:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := run(*poolAddr, *name, *profileName, *metricsAddr, *backendFlag, *workers, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "hcminer:", err)

@@ -8,6 +8,7 @@
 //	hcpoold [-addr 127.0.0.1:3333] [-http 127.0.0.1:3334]
 //	        [-share-zero-bits 10] [-block-zero-bits 14]
 //	        [-profile leela] [-verify-workers N] [-refresh 10s]
+//	        [-submit-rate 50] [-submit-burst 100]
 //	        [-datadir /path/to/dir]
 //	        [-listen :9444] [-connect host:9444] [-network hashcore]
 //
@@ -48,6 +49,8 @@ func main() {
 	blockZeroBits := flag.Uint("block-zero-bits", 14, "network block target: leading zero bits")
 	verifyWorkers := flag.Int("verify-workers", 0, "share-verification workers (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue", 256, "submit queue bound (backpressure threshold)")
+	submitRate := flag.Float64("submit-rate", 0, "per-miner sustained submissions/sec admitted before pre-check rejection (0 disables)")
+	submitBurst := flag.Int("submit-burst", 0, "per-miner submission burst allowance (0 derives from -submit-rate)")
 	rangeSize := flag.Uint64("range", pool.DefaultRangeSize, "nonce window per subscriber per job")
 	refresh := flag.Duration("refresh", 10*time.Second, "job refresh period (negative disables)")
 	name := flag.String("name", "hcpool", "pool name")
@@ -61,7 +64,7 @@ func main() {
 
 	if err := run(*addr, *httpAddr, *profileName, *name, *datadir, *listen, *connect, *network, *metricsAddr, *backendFlag,
 		uint(*shareZeroBits), uint(*blockZeroBits),
-		*verifyWorkers, *queueDepth, *rangeSize, *refresh); err != nil {
+		*verifyWorkers, *queueDepth, *submitRate, *submitBurst, *rangeSize, *refresh); err != nil {
 		fmt.Fprintln(os.Stderr, "hcpoold:", err)
 		os.Exit(1)
 	}
@@ -69,7 +72,7 @@ func main() {
 
 func run(addr, httpAddr, profileName, name, datadir, listen, connect, network, metricsAddr, backendMode string,
 	shareZeroBits, blockZeroBits uint,
-	verifyWorkers, queueDepth int, rangeSize uint64, refresh time.Duration) error {
+	verifyWorkers, queueDepth int, submitRate float64, submitBurst int, rangeSize uint64, refresh time.Duration) error {
 	var reg *telemetry.Registry
 	var journal *telemetry.Journal
 	if metricsAddr != "" {
@@ -152,8 +155,11 @@ func run(addr, httpAddr, profileName, name, datadir, listen, connect, network, m
 		RangeSize:       rangeSize,
 		VerifyWorkers:   verifyWorkers,
 		QueueDepth:      queueDepth,
+		SubmitRate:      submitRate,
+		SubmitBurst:     submitBurst,
 		RefreshInterval: refresh,
 		Metrics:         reg,
+		Journal:         journal,
 	}, pool.WrapHasher(h), pool.NewChainSource(node, name))
 	if err != nil {
 		return err

@@ -1,12 +1,15 @@
 package pool
 
 import (
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// MinerStats is one miner's share ledger.
+// MinerStats is one miner's share ledger, in snapshot form: a plain
+// value copied out of the live atomic cells at read time.
 type MinerStats struct {
 	Accepted  uint64 `json:"accepted"`
 	Blocks    uint64 `json:"blocks"`
@@ -25,54 +28,152 @@ type MinerStats struct {
 	lastAccepted  time.Time
 }
 
-// Accounting tracks per-miner share statistics. Safe for concurrent use.
+// acctShards stripes the miner ledger. Writers (the precheck tier on
+// connection goroutines, the verification fleet on shard workers) shard
+// by the same miner hash as the fleet, so in steady state each cell has
+// essentially one writer; the stripes only bound the cost of the
+// cold-path map insert and of snapshot reads.
+const acctShards = 16
+
+// minerCell is the live ledger entry for one miner. Every counter is
+// atomic, so the record hot path takes no lock at all: the enclosing
+// shard's RWMutex guards only map membership (first-share insert and
+// snapshot iteration), never the counts themselves.
+type minerCell struct {
+	accepted  atomic.Uint64
+	blocks    atomic.Uint64
+	stale     atomic.Uint64
+	duplicate atomic.Uint64
+	lowDiff   atomic.Uint64
+	invalid   atomic.Uint64
+	// workBits accumulates ShareWork as float64 bits via CAS.
+	workBits atomic.Uint64
+	// firstNano/lastNano are unix nanos of the first/last accepted
+	// share (0 = none yet).
+	firstNano atomic.Int64
+	lastNano  atomic.Int64
+}
+
+func (c *minerCell) addWork(w float64) {
+	for {
+		old := c.workBits.Load()
+		if c.workBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+w)) {
+			return
+		}
+	}
+}
+
+// snapshot copies the cell into a plain MinerStats. Individual fields
+// are each atomically read; a snapshot racing a record may see a
+// partially applied share (e.g. the count without its work), which the
+// next snapshot repairs — the ledger itself never loses an update.
+func (c *minerCell) snapshot() MinerStats {
+	st := MinerStats{
+		Accepted:  c.accepted.Load(),
+		Blocks:    c.blocks.Load(),
+		Stale:     c.stale.Load(),
+		Duplicate: c.duplicate.Load(),
+		LowDiff:   c.lowDiff.Load(),
+		Invalid:   c.invalid.Load(),
+		ShareWork: math.Float64frombits(c.workBits.Load()),
+	}
+	if f := c.firstNano.Load(); f != 0 {
+		st.firstAccepted = time.Unix(0, f)
+	}
+	if l := c.lastNano.Load(); l != 0 {
+		st.lastAccepted = time.Unix(0, l)
+	}
+	return st
+}
+
+type acctShard struct {
+	mu sync.RWMutex
+	m  map[string]*minerCell
+}
+
+// Accounting tracks per-miner share statistics. Safe for concurrent
+// use; the record path is lock-free once a miner's cell exists.
 type Accounting struct {
-	mu     sync.Mutex
-	miners map[string]*MinerStats
+	shards [acctShards]acctShard
 	now    func() time.Time
 }
 
 // NewAccounting creates an empty ledger.
 func NewAccounting() *Accounting {
-	return &Accounting{miners: make(map[string]*MinerStats), now: time.Now}
+	a := &Accounting{now: time.Now}
+	for i := range a.shards {
+		a.shards[i].m = make(map[string]*minerCell)
+	}
+	return a
+}
+
+// minerHash hashes a miner name (FNV-1a); the same hash routes a
+// miner's shares to its verification-fleet shard and its ledger stripe.
+func minerHash(miner string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(miner); i++ {
+		h ^= uint64(miner[i])
+		h *= prime64
+	}
+	return h
+}
+
+// cell resolves (creating on first sight) the live ledger entry for
+// miner. Hot path: one shared-lock map hit.
+func (a *Accounting) cell(miner string) *minerCell {
+	sh := &a.shards[minerHash(miner)%acctShards]
+	sh.mu.RLock()
+	c := sh.m[miner]
+	sh.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	sh.mu.Lock()
+	if c = sh.m[miner]; c == nil {
+		c = &minerCell{}
+		sh.m[miner] = c
+	}
+	sh.mu.Unlock()
+	return c
 }
 
 // Record books one share verdict for miner. work is the expected hash
 // evaluations an accepted share of its job represents (Job.ShareWork);
 // it is ignored for non-accepted statuses.
 func (a *Accounting) Record(miner string, status ShareStatus, work float64) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	st, ok := a.miners[miner]
-	if !ok {
-		st = &MinerStats{}
-		a.miners[miner] = st
-	}
+	c := a.cell(miner)
 	switch status {
 	case StatusAccepted, StatusBlock:
-		now := a.now()
-		if st.Accepted == 0 {
-			st.firstAccepted = now
+		now := a.now().UnixNano()
+		c.firstNano.CompareAndSwap(0, now)
+		for {
+			old := c.lastNano.Load()
+			if old >= now || c.lastNano.CompareAndSwap(old, now) {
+				break
+			}
 		}
-		st.lastAccepted = now
-		st.Accepted++
-		st.ShareWork += work
+		c.accepted.Add(1)
+		c.addWork(work)
 		if status == StatusBlock {
-			st.Blocks++
+			c.blocks.Add(1)
 		}
 	case StatusStale:
-		st.Stale++
+		c.stale.Add(1)
 	case StatusDuplicate:
-		st.Duplicate++
+		c.duplicate.Add(1)
 	case StatusLowDiff:
-		st.LowDiff++
+		c.lowDiff.Add(1)
 	default:
-		st.Invalid++
+		c.invalid.Add(1)
 	}
 }
 
-// hashrateLocked estimates hashes/sec from the accepted-share work over
-// the window from the first accepted share to now. The window is floored
+// hashrate estimates hashes/sec from the accepted-share work over the
+// window from the first accepted share to now. The window is floored
 // at one second so a lone early share does not read as an absurd rate.
 func (st *MinerStats) hashrate(now time.Time) float64 {
 	if st.Accepted == 0 {
@@ -88,12 +189,14 @@ func (st *MinerStats) hashrate(now time.Time) float64 {
 // Hashrate returns the current hashrate estimate for miner (0 if
 // unknown).
 func (a *Accounting) Hashrate(miner string) float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	st, ok := a.miners[miner]
-	if !ok {
+	sh := &a.shards[minerHash(miner)%acctShards]
+	sh.mu.RLock()
+	c := sh.m[miner]
+	sh.mu.RUnlock()
+	if c == nil {
 		return 0
 	}
+	st := c.snapshot()
 	return st.hashrate(a.now())
 }
 
@@ -103,17 +206,22 @@ type MinerSnapshot struct {
 	MinerStats
 }
 
-// Snapshot returns a copy of every miner's stats, hashrate filled in,
-// sorted by name for stable output.
+// Snapshot merges every stripe's cells into a copy of every miner's
+// stats, hashrate filled in, sorted by name for stable output. This is
+// the merge-at-read half of the sharded ledger: writers never
+// coordinate, readers pay the join.
 func (a *Accounting) Snapshot() []MinerSnapshot {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	now := a.now()
-	out := make([]MinerSnapshot, 0, len(a.miners))
-	for name, st := range a.miners {
-		cp := *st
-		cp.Hashrate = st.hashrate(now)
-		out = append(out, MinerSnapshot{Miner: name, MinerStats: cp})
+	var out []MinerSnapshot
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.RLock()
+		for name, c := range sh.m {
+			st := c.snapshot()
+			st.Hashrate = st.hashrate(now)
+			out = append(out, MinerSnapshot{Miner: name, MinerStats: st})
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Miner < out[j].Miner })
 	return out
@@ -122,19 +230,23 @@ func (a *Accounting) Snapshot() []MinerSnapshot {
 // Totals sums all miners' counters into one MinerStats (hashrate is the
 // sum of per-miner estimates).
 func (a *Accounting) Totals() MinerStats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	now := a.now()
 	var t MinerStats
-	for _, st := range a.miners {
-		t.Accepted += st.Accepted
-		t.Blocks += st.Blocks
-		t.Stale += st.Stale
-		t.Duplicate += st.Duplicate
-		t.LowDiff += st.LowDiff
-		t.Invalid += st.Invalid
-		t.ShareWork += st.ShareWork
-		t.Hashrate += st.hashrate(now)
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.RLock()
+		for _, c := range sh.m {
+			st := c.snapshot()
+			t.Accepted += st.Accepted
+			t.Blocks += st.Blocks
+			t.Stale += st.Stale
+			t.Duplicate += st.Duplicate
+			t.LowDiff += st.LowDiff
+			t.Invalid += st.Invalid
+			t.ShareWork += st.ShareWork
+			t.Hashrate += st.hashrate(now)
+		}
+		sh.mu.RUnlock()
 	}
 	return t
 }

@@ -43,6 +43,22 @@ type Job struct {
 
 	// cursor is the next unassigned nonce-range start.
 	cursor atomic.Uint64
+
+	// frame caches the marshal-once notify serialization (built on
+	// first use; racing builders produce identical bytes, so last
+	// store wins harmlessly).
+	frame atomic.Pointer[notifyFrame]
+}
+
+// notifyFrame returns the job's pre-serialized notify message, building
+// it on first use.
+func (j *Job) notifyFrame() *notifyFrame {
+	if f := j.frame.Load(); f != nil {
+		return f
+	}
+	f := buildNotifyFrame(j)
+	j.frame.Store(f)
+	return f
 }
 
 // AssignRange carves the next [start, end) nonce window of the given size
@@ -197,6 +213,16 @@ func (jm *JobManager) Lookup(id string) (*Job, bool) {
 	jm.mu.Lock()
 	defer jm.mu.Unlock()
 	j, ok := jm.jobs[id]
+	return j, ok
+}
+
+// LookupBytes resolves a job ID handed over as raw line bytes without
+// allocating a string for the key (the compiler elides the conversion
+// in the map index expression) — the admission tier's hot path.
+func (jm *JobManager) LookupBytes(id []byte) (*Job, bool) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	j, ok := jm.jobs[string(id)]
 	return j, ok
 }
 

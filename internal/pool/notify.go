@@ -1,0 +1,62 @@
+package pool
+
+import (
+	"encoding/hex"
+	"strconv"
+)
+
+// notifyFrame is a job's notify message serialized once, split around
+// the only two fields that vary per subscriber (the nonce window).
+// Broadcast fan-out renders one subscriber's frame by concatenating
+// head + start + mid + end + tail into a reusable scratch buffer — no
+// JSON encoder, no per-conn marshal. The byte layout matches
+// encoding/json's output for Envelope{Type: TypeNotify, Job: &…}
+// exactly (pinned by TestNotifyFrameMatchesJSON), so clients cannot
+// tell the paths apart.
+type notifyFrame struct {
+	head []byte // `{"type":"notify","job":{…,"nonce_start":`
+	mid  []byte // `,"nonce_end":`
+	tail []byte // `,…,"clean":…},"nonce":0}` + "\n"
+}
+
+// buildNotifyFrame serializes job's invariant notify payload. The two
+// variable fields are uint64s rendered with strconv at fan-out time;
+// everything else — id (decimal), prefix (lowercase hex), targets,
+// height, clean — needs no JSON escaping by construction.
+func buildNotifyFrame(job *Job) *notifyFrame {
+	head := make([]byte, 0, 64+2*len(job.Prefix))
+	head = append(head, `{"type":"notify","job":{"id":"`...)
+	head = append(head, job.ID...)
+	head = append(head, `","prefix":"`...)
+	n := len(head)
+	head = append(head, make([]byte, hex.EncodedLen(len(job.Prefix)))...)
+	hex.Encode(head[n:], job.Prefix)
+	head = append(head, `","share_bits":`...)
+	head = strconv.AppendUint(head, uint64(job.ShareBits), 10)
+	head = append(head, `,"block_bits":`...)
+	head = strconv.AppendUint(head, uint64(job.BlockBits), 10)
+	head = append(head, `,"nonce_start":`...)
+
+	tail := make([]byte, 0, 48)
+	tail = append(tail, `,"height":`...)
+	tail = strconv.AppendInt(tail, int64(job.Height), 10)
+	tail = append(tail, `,"clean":`...)
+	tail = strconv.AppendBool(tail, job.Clean)
+	// Envelope.Nonce carries no omitempty (nonce 0 is a legal share),
+	// so the encoder emits it on every notify; match it.
+	tail = append(tail, `},"nonce":0}`...)
+	tail = append(tail, '\n')
+
+	return &notifyFrame{head: head, mid: []byte(`,"nonce_end":`), tail: tail}
+}
+
+// render appends the complete notify line (newline included) for one
+// subscriber's nonce window into buf[:0] and returns it.
+func (f *notifyFrame) render(buf []byte, start, end uint64) []byte {
+	b := append(buf[:0], f.head...)
+	b = strconv.AppendUint(b, start, 10)
+	b = append(b, f.mid...)
+	b = strconv.AppendUint(b, end, 10)
+	b = append(b, f.tail...)
+	return b
+}

@@ -38,11 +38,12 @@ type Config struct {
 	// RangeSize is the nonce window assigned to each subscriber per job.
 	// Default DefaultRangeSize.
 	RangeSize uint64
-	// VerifyWorkers bounds the share-verification worker pool (each
-	// worker holds one hashing session). Default GOMAXPROCS.
+	// VerifyWorkers sets the verification-fleet width: shares shard by
+	// miner onto this many session-pinned workers. Default GOMAXPROCS.
 	VerifyWorkers int
-	// QueueDepth bounds the submit queue; a full queue blocks connection
-	// readers (TCP backpressure). Default 256.
+	// QueueDepth bounds the queued shares across the fleet (split per
+	// shard); a full shard blocks that miner's connection reader (TCP
+	// backpressure). Default 256.
 	QueueDepth int
 	// JobRetention is how many recent jobs stay submittable. Default 4.
 	JobRetention int
@@ -53,12 +54,26 @@ type Config struct {
 	// SeenCapacity bounds the duplicate-share set. Default 1<<16.
 	SeenCapacity int
 	// WriteTimeout bounds one protocol write to a client, so a stalled
-	// connection cannot block job fan-out. Default 5s.
+	// connection cannot block its writer forever. Default 5s.
 	WriteTimeout time.Duration
+	// NotifyQueue bounds each connection's outbound message queue
+	// (notifies and share verdicts). A peer that lets it overflow is
+	// dropped — broadcast fan-out never waits for a stalled conn.
+	// Default 64.
+	NotifyQueue int
+	// SubmitRate is the per-miner sustained submission rate (shares/sec)
+	// admitted by the pre-check tier; excess submissions are rejected
+	// at ~ns cost before touching a hashing session. 0 disables.
+	SubmitRate float64
+	// SubmitBurst is the rate limiter's bucket depth. 0 derives a
+	// default from SubmitRate.
+	SubmitBurst int
 	// Metrics receives the pool_* instruments. When nil the server
 	// creates a private registry, so /stats always reads from the same
 	// instrument set regardless of whether telemetry is exported.
 	Metrics *telemetry.Registry
+	// Journal, when non-nil, receives pool events (rate-limited miners).
+	Journal *telemetry.Journal
 	// Logf receives server events; nil means log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -88,24 +103,35 @@ func (c *Config) fillDefaults() {
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 5 * time.Second
 	}
+	if c.NotifyQueue < 1 {
+		c.NotifyQueue = 64
+	}
+	// The subscribe handshake enqueues three messages before the peer
+	// can drain any; a queue smaller than that would condemn fresh
+	// connections whenever their writer goroutine is slow to schedule.
+	if c.NotifyQueue < 4 {
+		c.NotifyQueue = 4
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
 }
 
 // Server is a mining-pool server: it owns the job manager, the
-// verification pipeline, the miner ledger and the two listeners. Create
-// with NewServer, start with Start, stop with Shutdown.
+// admission pre-check tier, the sharded verification fleet, the miner
+// ledger and the two listeners. Create with NewServer, start with
+// Start, stop with Shutdown.
 type Server struct {
-	cfg    Config
-	hasher Hasher
-	jm     *JobManager
-	src    TemplateSource
-	seen   *SeenSet
-	acct   *Accounting
-	pipe   *Pipeline
-	reg    *telemetry.Registry
-	met    *poolMetrics
+	cfg      Config
+	hasher   Hasher
+	jm       *JobManager
+	src      TemplateSource
+	seen     *SeenSet
+	acct     *Accounting
+	pipe     *Pipeline
+	precheck *Precheck
+	reg      *telemetry.Registry
+	met      *poolMetrics
 
 	// watcher is non-nil when src can push tip-change events; the
 	// server then reacts to reorgs and competing blocks with an
@@ -152,14 +178,18 @@ func NewServer(cfg Config, hasher Hasher, src TemplateSource) (*Server, error) {
 	}
 	validator := NewShareValidator(jm, s.seen, s.acct, s.onBlock)
 	s.pipe = NewPipeline(validator, hasher, cfg.VerifyWorkers, cfg.QueueDepth)
+	s.precheck = NewPrecheck(jm, s.seen, s.acct, cfg.SubmitRate, cfg.SubmitBurst)
+	s.precheck.journal = cfg.Journal
 	s.reg = cfg.Metrics
 	if s.reg == nil {
 		s.reg = telemetry.NewRegistry()
 	}
 	s.met = registerPoolMetrics(s.reg, s)
 	// Safe before the first Submit: workers only touch met while
-	// processing a task, and no task can be queued until Start.
+	// processing a task, the admission tier only from connection
+	// goroutines, and no connection exists until Start.
 	s.pipe.met = s.met
+	s.precheck.met = s.met
 	if _, err := jm.Refresh(true); err != nil {
 		s.pipe.Close()
 		return nil, fmt.Errorf("pool: building initial job: %w", err)
@@ -211,7 +241,7 @@ func (s *Server) Start() error {
 		s.wg.Add(1)
 		go s.tipLoop(events, cancel)
 	}
-	s.cfg.Logf("pool %q serving %s on %s (share bits %#x, %d verify workers)",
+	s.cfg.Logf("pool %q serving %s on %s (share bits %#x, %d verify shards)",
 		s.cfg.PoolName, s.hasher.Name(), ln.Addr(), s.cfg.ShareBits, s.cfg.VerifyWorkers)
 	return nil
 }
@@ -255,6 +285,18 @@ func (s *Server) connCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.conns)
+}
+
+// RefreshNow cuts a fresh job and broadcasts it to every subscriber —
+// the explicit form of what refreshLoop and tipLoop do, for embedders
+// and load harnesses that drive broadcasts deterministically.
+func (s *Server) RefreshNow(clean bool) error {
+	job, err := s.jm.Refresh(clean)
+	if err != nil {
+		return err
+	}
+	s.broadcastJob(job)
+	return nil
 }
 
 // Shutdown stops accepting, closes every connection, drains the
@@ -302,6 +344,42 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// startConn wraps nc in the connection machinery — framing, outbound
+// writer queue, read loop — and registers it. Returns false when the
+// server is shutting down (nc is closed).
+func (s *Server) startConn(nc net.Conn) bool {
+	c := &serverConn{
+		s:    s,
+		conn: wire.NewConn(nc, connConfig(s.cfg.WriteTimeout)),
+		id:   s.connSeq.Add(1),
+		out:  make(chan outMsg, s.cfg.NotifyQueue),
+	}
+	c.resultFn = c.sendResult
+	s.mu.Lock()
+	if s.shutdown || !s.started {
+		s.mu.Unlock()
+		nc.Close()
+		return false
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	s.wg.Add(2)
+	go c.serve()
+	go c.writeLoop()
+	return true
+}
+
+// ServeConn serves the miner protocol over a caller-supplied connection
+// — an in-memory pipe, a simnet endpoint, a test fixture — on a started
+// server, exactly as if it had arrived through the TCP listener. The
+// connection is owned by the server from here on (closed on Shutdown).
+func (s *Server) ServeConn(nc net.Conn) error {
+	if !s.startConn(nc) {
+		return errors.New("pool: server not serving")
+	}
+	return nil
+}
+
 // acceptLoop admits miner connections until the listener closes.
 // Transient accept errors (fd exhaustion under a connection flood) are
 // retried with backoff rather than silently ending admission for the
@@ -334,21 +412,9 @@ func (s *Server) acceptLoop() {
 			continue
 		}
 		backoff = 0
-		c := &serverConn{
-			s:    s,
-			conn: wire.NewConn(conn, connConfig(s.cfg.WriteTimeout)),
-			id:   s.connSeq.Add(1),
-		}
-		s.mu.Lock()
-		if s.shutdown {
-			s.mu.Unlock()
-			conn.Close()
+		if !s.startConn(conn) {
 			return
 		}
-		s.conns[c] = struct{}{}
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go c.serve()
 	}
 }
 
@@ -363,12 +429,9 @@ func (s *Server) refreshLoop() {
 		case <-s.quit:
 			return
 		case <-ticker.C:
-			job, err := s.jm.Refresh(false)
-			if err != nil {
+			if err := s.RefreshNow(false); err != nil {
 				s.cfg.Logf("pool: job refresh: %v", err)
-				continue
 			}
-			s.broadcastJob(job)
 		}
 	}
 }
@@ -392,12 +455,9 @@ func (s *Server) tipLoop(events <-chan blockchain.TipEvent, cancel func()) {
 			if ev.Reorg {
 				s.cfg.Logf("pool: chain reorg to %x… at height %d — invalidating all jobs", ev.NewTip[:8], ev.Height)
 			}
-			job, err := s.jm.Refresh(true)
-			if err != nil {
+			if err := s.RefreshNow(true); err != nil {
 				s.cfg.Logf("pool: job refresh after tip change: %v", err)
-				continue
 			}
-			s.broadcastJob(job)
 		}
 	}
 }
@@ -420,22 +480,40 @@ func (s *Server) onBlock(job *Job, digest [32]byte, nonce uint64) {
 	if s.watcher != nil {
 		return
 	}
-	next, err := s.jm.Refresh(true)
-	if err != nil {
+	if err := s.RefreshNow(true); err != nil {
 		s.cfg.Logf("pool: job refresh after block: %v", err)
-		return
 	}
-	s.broadcastJob(next)
 }
 
+// fanoutTrack follows one broadcast across the per-conn writers: the
+// last notify written (or condemned) observes the fan-out histogram.
+type fanoutTrack struct {
+	start   time.Time
+	pending atomic.Int64
+	met     *poolMetrics
+}
+
+func (t *fanoutTrack) done() {
+	if t.pending.Add(-1) == 0 && t.met != nil {
+		t.met.fanout.ObserveSince(t.start)
+	}
+}
+
+// fanoutChunk is how many connections one dispatcher goroutine handles
+// per broadcast; maxFanoutDispatchers bounds the dispatch tree's width.
+const (
+	fanoutChunk          = 2048
+	maxFanoutDispatchers = 8
+)
+
 // broadcastJob notifies every subscribed connection, assigning each its
-// own nonce window. Fan-out is concurrent: one stalled peer may block
-// its own notify for up to WriteTimeout (after which it is dropped) but
-// must never delay the others — broadcastJob is called from the
-// verification path (onBlock), where serial WriteTimeout-sized stalls
-// would starve share verification. The goroutines are not tracked by
-// the server's WaitGroup; after Shutdown closes the connections their
-// writes fail immediately.
+// own nonce window. The job's notify payload is serialized exactly once
+// (notifyFrame); each connection's writer patches only its nonce window
+// into a scratch buffer. Dispatch enqueues onto the per-conn writer
+// queues without blocking — a stalled peer can never delay the others;
+// one that overflows its queue is dropped — and splits across a small
+// dispatcher tree so a 10k-conn fan-out is not serialized on the
+// calling goroutine (broadcasts originate on the verification path).
 func (s *Server) broadcastJob(job *Job) {
 	s.mu.Lock()
 	conns := make([]*serverConn, 0, len(s.conns))
@@ -445,18 +523,42 @@ func (s *Server) broadcastJob(job *Job) {
 	s.mu.Unlock()
 	s.met.broadcasts.Inc()
 	start := time.Now()
-	var fan sync.WaitGroup
-	for _, c := range conns {
-		fan.Add(1)
-		go func(c *serverConn) {
-			defer fan.Done()
-			c.notify(job)
-		}(c)
-	}
-	go func() {
-		fan.Wait()
+	if len(conns) == 0 {
 		s.met.fanout.ObserveSince(start)
-	}()
+		return
+	}
+	job.notifyFrame() // marshal once, before any dispatcher runs
+	track := &fanoutTrack{start: start, met: s.met}
+	track.pending.Store(int64(len(conns)))
+
+	dispatchers := (len(conns) + fanoutChunk - 1) / fanoutChunk
+	if dispatchers > maxFanoutDispatchers {
+		dispatchers = maxFanoutDispatchers
+	}
+	if dispatchers <= 1 {
+		s.dispatchNotify(conns, job, track)
+		return
+	}
+	per := (len(conns) + dispatchers - 1) / dispatchers
+	for w := 0; w < dispatchers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(conns) {
+			hi = len(conns)
+		}
+		go s.dispatchNotify(conns[lo:hi], job, track)
+	}
+}
+
+// dispatchNotify enqueues one broadcast chunk onto the per-conn writers.
+func (s *Server) dispatchNotify(conns []*serverConn, job *Job, track *fanoutTrack) {
+	for _, c := range conns {
+		if !c.subscribed.Load() {
+			track.done()
+			continue
+		}
+		c.enqueue(outMsg{job: job, track: track})
+	}
 }
 
 // statsReply is the /stats JSON document.
@@ -506,54 +608,136 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(reply)
 }
 
+// outMsg is one queued outbound message: either an owned envelope or a
+// notify rendered from the job's marshal-once frame at write time.
+type outMsg struct {
+	env   *Envelope
+	job   *Job
+	track *fanoutTrack
+}
+
 // serverConn is one miner connection, riding the shared wire framing.
+// Reads run on serve's goroutine; all outbound traffic (job notifies,
+// share verdicts) funnels through the out queue into writeLoop, so a
+// peer that stops draining stalls only its own writer — never a
+// broadcast, never a verification worker.
 type serverConn struct {
 	s    *Server
 	conn *wire.Conn
 	id   uint64
 
+	out       chan outMsg
+	outMu     sync.Mutex
+	outClosed bool
+
+	subscribed atomic.Bool
 	subMu      sync.Mutex
-	subscribed bool
 	miner      string
+
+	// resultFn is the verdict callback handed to the verification
+	// fleet — bound once so the per-share submit path allocates no
+	// closure.
+	resultFn func(ShareResult)
 }
 
 func (c *serverConn) close() {
 	_ = c.conn.Close()
 }
 
-// send writes one envelope; the wire layer serializes writers (results
-// race notifies) and applies the configured deadline. On write failure
-// the connection is closed: a peer that cannot take a notify in
-// WriteTimeout is better dropped than allowed to stall broadcast
-// fan-out.
+// teardown closes the out queue so writeLoop drains and exits. Safe to
+// race enqueue and itself.
+func (c *serverConn) teardown() {
+	c.outMu.Lock()
+	if !c.outClosed {
+		c.outClosed = true
+		close(c.out)
+	}
+	c.outMu.Unlock()
+}
+
+// enqueue hands a message to the connection's writer without ever
+// blocking. A full queue condemns the connection: the peer is not
+// draining, and failing fast beats wedging broadcast dispatch behind
+// a dead socket.
+func (c *serverConn) enqueue(m outMsg) {
+	c.outMu.Lock()
+	if c.outClosed {
+		c.outMu.Unlock()
+		if m.track != nil {
+			m.track.done()
+		}
+		return
+	}
+	select {
+	case c.out <- m:
+		c.outMu.Unlock()
+		return
+	default:
+	}
+	// Overflow: condemn the connection. Close the queue first so racing
+	// enqueuers bail, then the socket so the writer's in-flight write
+	// fails fast.
+	c.outClosed = true
+	close(c.out)
+	c.outMu.Unlock()
+	if m.track != nil {
+		m.track.done()
+	}
+	c.s.met.dropped.Inc()
+	c.close()
+}
+
+// writeLoop drains the out queue onto the socket. Notifies are rendered
+// from the job's marshal-once frame into a reusable scratch buffer —
+// the only per-conn work in a broadcast is patching the nonce window
+// and one locked write.
+func (c *serverConn) writeLoop() {
+	defer c.s.wg.Done()
+	var scratch []byte
+	for m := range c.out {
+		var err error
+		if m.job != nil {
+			start, end := m.job.AssignRange(c.s.cfg.RangeSize)
+			scratch = m.job.notifyFrame().render(scratch, start, end)
+			err = c.conn.WriteLine(scratch)
+		} else {
+			err = c.conn.WriteJSON(m.env)
+		}
+		if m.track != nil {
+			m.track.done()
+		}
+		if err != nil {
+			// A peer that cannot take a write within WriteTimeout is
+			// better dropped than allowed to stall its writer; keep
+			// draining so queued tracks resolve (writes now fail fast).
+			c.close()
+		}
+	}
+}
+
+// send queues one envelope for the connection's writer.
 func (c *serverConn) send(env *Envelope) {
+	c.enqueue(outMsg{env: env})
+}
+
+// sendNow writes one envelope synchronously — used for terminal
+// protocol errors where the connection is dropped right after and the
+// queue would never flush.
+func (c *serverConn) sendNow(env *Envelope) {
 	if err := c.conn.WriteJSON(env); err != nil {
 		c.close()
 	}
 }
 
-// notify assigns this subscriber a nonce window on job and sends it.
-func (c *serverConn) notify(job *Job) {
-	c.subMu.Lock()
-	subscribed := c.subscribed
-	c.subMu.Unlock()
-	if !subscribed {
-		return
-	}
-	start, end := job.AssignRange(c.s.cfg.RangeSize)
-	c.send(&Envelope{
-		Type: TypeNotify,
-		Job: &JobNotify{
-			ID:         job.ID,
-			Prefix:     hex.EncodeToString(job.Prefix),
-			ShareBits:  job.ShareBits,
-			BlockBits:  job.BlockBits,
-			NonceStart: start,
-			NonceEnd:   end,
-			Height:     job.Height,
-			Clean:      job.Clean,
-		},
-	})
+// sendResult queues a share verdict.
+func (c *serverConn) sendResult(res ShareResult) {
+	c.enqueue(outMsg{env: &Envelope{
+		Type:   TypeResult,
+		JobID:  res.JobID,
+		Nonce:  res.Nonce,
+		Status: res.Status,
+		Reason: res.Reason,
+	}})
 }
 
 // serve runs the connection's read loop until EOF, protocol error or
@@ -562,6 +746,7 @@ func (c *serverConn) serve() {
 	defer c.s.wg.Done()
 	defer func() {
 		c.close()
+		c.teardown()
 		c.s.mu.Lock()
 		delete(c.s.conns, c)
 		c.s.mu.Unlock()
@@ -573,23 +758,35 @@ func (c *serverConn) serve() {
 			// EOF, read error or oversized line: the connection is done.
 			return
 		}
+		// Admission fast path: submits dominate miner traffic by orders
+		// of magnitude, and the scanner decodes them without allocating.
+		if jobID, nonce, ok := parseSubmit(line); ok {
+			if !c.handleShare(jobID, nonce) {
+				return
+			}
+			continue
+		}
 		env, err := parseMsg(line)
 		if err != nil {
-			c.send(&Envelope{Type: TypeError, Error: err.Error()})
+			if c.s.met != nil {
+				c.s.met.precheck[RejectMalformed].Inc()
+			}
+			c.sendNow(&Envelope{Type: TypeError, Error: err.Error()})
 			return
 		}
 		switch env.Type {
 		case TypeSubscribe:
 			c.handleSubscribe(&env)
 		case TypeSubmit:
-			if !c.handleSubmit(&env) {
+			// Exotic-but-legal submit encodings the fast scanner
+			// declined take the same admission path.
+			if !c.handleShare([]byte(env.JobID), env.Nonce) {
 				return
 			}
 		default:
 			c.send(&Envelope{Type: TypeError, Error: "unknown message type " + strconv.Quote(env.Type)})
 		}
 	}
-	// EOF or read error: either way the connection is done.
 }
 
 func (c *serverConn) handleSubscribe(env *Envelope) {
@@ -599,8 +796,8 @@ func (c *serverConn) handleSubscribe(env *Envelope) {
 	}
 	c.subMu.Lock()
 	c.miner = name
-	first := !c.subscribed
-	c.subscribed = true
+	first := !c.subscribed.Load()
+	c.subscribed.Store(true)
 	c.subMu.Unlock()
 
 	if first {
@@ -614,41 +811,43 @@ func (c *serverConn) handleSubscribe(env *Envelope) {
 	})
 	c.send(&Envelope{Type: TypeSetTarget, Bits: c.s.jm.ShareBits()})
 	if job := c.s.jm.Current(); job != nil {
-		c.notify(job)
+		c.enqueue(outMsg{job: job})
 	}
 }
 
-// handleSubmit queues the share; the reply callback sends the verdict
-// when a verification worker reaches it. Returns false when the
+// handleShare pushes one submitted share through the admission tier
+// and, if admitted, onto the miner's verification shard. The reply is
+// queued on the connection's writer either way. Returns false when the
 // connection should be dropped (submit before subscribe, or shutdown).
-func (c *serverConn) handleSubmit(env *Envelope) bool {
-	c.subMu.Lock()
-	miner := c.miner
-	subscribed := c.subscribed
-	c.subMu.Unlock()
-	if !subscribed {
-		c.send(&Envelope{Type: TypeError, Error: "submit before subscribe"})
+func (c *serverConn) handleShare(jobID []byte, nonce uint64) bool {
+	if !c.subscribed.Load() {
+		c.sendNow(&Envelope{Type: TypeError, Error: "submit before subscribe"})
 		return false
 	}
-	if env.JobID == "" {
-		c.send(&Envelope{Type: TypeResult, JobID: env.JobID, Nonce: env.Nonce,
+	c.subMu.Lock()
+	miner := c.miner
+	c.subMu.Unlock()
+	if len(jobID) == 0 {
+		c.send(&Envelope{Type: TypeResult, Nonce: nonce,
 			Status: StatusInvalid, Reason: "missing job_id"})
 		return true
 	}
-	// Submit blocks when verification is saturated; since this is the
-	// connection's read goroutine, the peer experiences TCP backpressure.
-	err := c.s.pipe.Submit(context.Background(), miner, env.JobID, env.Nonce, func(res ShareResult) {
-		c.send(&Envelope{
-			Type:   TypeResult,
-			JobID:  res.JobID,
-			Nonce:  res.Nonce,
-			Status: res.Status,
-			Reason: res.Reason,
-		})
-	})
-	if err != nil {
-		c.send(&Envelope{Type: TypeError, Error: err.Error()})
+	job, rej, admitted := c.s.precheck.Admit(miner, jobID, nonce)
+	if !admitted {
+		c.send(&Envelope{Type: TypeResult, JobID: rej.JobID, Nonce: rej.Nonce,
+			Status: rej.Status, Reason: rej.Reason})
+		return true
+	}
+	// SubmitAdmitted blocks when the miner's shard is saturated; since
+	// this is the connection's read goroutine, the peer experiences TCP
+	// backpressure.
+	if err := c.s.pipe.SubmitAdmitted(context.Background(), miner, job, nonce, c.resultFn); err != nil {
+		c.sendNow(&Envelope{Type: TypeError, Error: err.Error()})
 		return false
 	}
 	return true
 }
+
+// hexPrefix is kept for tests and embedders that build JobNotify values
+// directly; the broadcast path uses the marshal-once notifyFrame.
+func hexPrefix(job *Job) string { return hex.EncodeToString(job.Prefix) }

@@ -27,7 +27,11 @@ type ShareResult struct {
 
 // ShareValidator decides share verdicts. The cheap structural checks
 // (job known? nonce fresh?) run before the expensive hash evaluation, so
-// replayed and stale floods never reach a hashing session.
+// replayed and stale floods never reach a hashing session. In server
+// use those checks run even earlier — in the admission tier (Precheck)
+// on the connection goroutine — and the fleet path enters through
+// VerifyAdmitted; the full Verify remains the reference single-path
+// pipeline (and the compatible entry for bare pipelines).
 type ShareValidator struct {
 	jobs *JobManager
 	seen *SeenSet
@@ -64,8 +68,33 @@ func (v *ShareValidator) Verify(sess pow.Hasher, hdr *[]byte, miner, jobID strin
 		return res
 	}
 
+	return v.hashAndJudge(sess, hdr, miner, job, res)
+}
+
+// VerifyAdmitted judges a share the admission tier already resolved
+// and deduped: the *Job is live as of admission and the share's dedupe
+// key is consumed. Only staleness is re-checked — the job window can
+// move while the share waits in a shard queue — before the hash
+// evaluation. Verdict classes match Verify exactly (the admission tier
+// ran the same earlier checks, in the same order).
+func (v *ShareValidator) VerifyAdmitted(sess pow.Hasher, hdr *[]byte, miner string, job *Job, nonce uint64) ShareResult {
+	res := ShareResult{Miner: miner, JobID: job.ID, Nonce: nonce}
+
+	if _, ok := v.jobs.Lookup(job.ID); !ok {
+		res.Status, res.Reason = StatusStale, "unknown or expired job"
+		v.acct.Record(miner, res.Status, 0)
+		return res
+	}
+	res.Height = job.Height
+
+	return v.hashAndJudge(sess, hdr, miner, job, res)
+}
+
+// hashAndJudge is the expensive back half shared by both entries: one
+// full hash evaluation, then the target checks and ledger write.
+func (v *ShareValidator) hashAndJudge(sess pow.Hasher, hdr *[]byte, miner string, job *Job, res ShareResult) ShareResult {
 	b := append((*hdr)[:0], job.Prefix...)
-	b = binary.LittleEndian.AppendUint64(b, nonce)
+	b = binary.LittleEndian.AppendUint64(b, res.Nonce)
 	*hdr = b
 	digest, err := sess.Hash(b)
 	if err != nil {
@@ -85,7 +114,7 @@ func (v *ShareValidator) Verify(sess pow.Hasher, hdr *[]byte, miner, jobID strin
 	if pow.Check(digest, job.BlockTarget) {
 		res.Status = StatusBlock
 		if v.onBlock != nil {
-			v.onBlock(job, digest, nonce)
+			v.onBlock(job, digest, res.Nonce)
 		}
 	}
 	v.acct.Record(miner, res.Status, job.ShareWork)
@@ -95,6 +124,10 @@ func (v *ShareValidator) Verify(sess pow.Hasher, hdr *[]byte, miner, jobID strin
 // submitTask is one queued share awaiting verification.
 type submitTask struct {
 	miner string
+	// job is resolved when the share came through the admission tier
+	// (dedupe key already consumed); jobID is the unresolved form used
+	// by the compatible Submit entry.
+	job   *Job
 	jobID string
 	nonce uint64
 	reply func(ShareResult)
@@ -106,16 +139,22 @@ type submitTask struct {
 // ErrPipelineClosed is returned by Submit after Close.
 var ErrPipelineClosed = errors.New("pool: verification pipeline closed")
 
-// Pipeline is the bounded share-verification worker pool. Each worker
-// holds a private hashing session (minted once, via pow.SessionHasher
-// when the hasher offers it) and a reusable header buffer, so steady-state
-// verification allocates nothing per share. The queue is bounded:
-// Submit blocks when verification falls behind, which propagates as TCP
-// backpressure to the submitting connection instead of unbounded memory
-// growth.
+// Pipeline is the sharded share-verification fleet. Shares shard by
+// miner onto session-pinned workers: each shard owns a private queue
+// and a private hashing session (minted via pow.SessionHasher when the
+// hasher offers it), so one miner's shares are verified in submission
+// order with no cross-shard contention — there is no global queue and
+// no lock shared between shards on the hot path. Ledger writes land in
+// the miner's accounting cell (same hash routing, lock-free adds) and
+// are merged only at read time.
+//
+// Each shard queue is bounded: Submit blocks when the miner's shard is
+// saturated, which propagates as TCP backpressure to the submitting
+// connection instead of unbounded memory growth — and only to miners
+// of the hot shard, not the whole pool.
 type Pipeline struct {
 	validator *ShareValidator
-	tasks     chan submitTask
+	shards    []verifyShard
 	wg        sync.WaitGroup
 
 	// met, when non-nil, receives per-share verdict counts and stage
@@ -129,20 +168,27 @@ type Pipeline struct {
 	closed bool
 }
 
-// NewPipeline starts workers goroutines verifying against validator.
-// depth is the submit queue bound (minimum 1).
+type verifyShard struct {
+	tasks chan submitTask
+}
+
+// NewPipeline starts a fleet of workers shards verifying against
+// validator. depth bounds the total queued shares, split across the
+// shards (minimum 1 per shard).
 func NewPipeline(validator *ShareValidator, hasher pow.Hasher, workers, depth int) *Pipeline {
 	if workers < 1 {
 		workers = 1
 	}
-	if depth < 1 {
-		depth = 1
+	perShard := depth / workers
+	if perShard < 1 {
+		perShard = 1
 	}
 	p := &Pipeline{
 		validator: validator,
-		tasks:     make(chan submitTask, depth),
+		shards:    make([]verifyShard, workers),
 	}
-	for i := 0; i < workers; i++ {
+	for i := range p.shards {
+		p.shards[i].tasks = make(chan submitTask, perShard)
 		sess := hasher
 		owned := false
 		if sh, ok := hasher.(pow.SessionHasher); ok {
@@ -150,26 +196,34 @@ func NewPipeline(validator *ShareValidator, hasher pow.Hasher, workers, depth in
 			owned = true
 		}
 		p.wg.Add(1)
-		go p.worker(sess, owned)
+		go p.worker(&p.shards[i], sess, owned)
 	}
 	return p
 }
 
-// worker drains the submit queue. owned marks a worker-private session
+// Shards reports the fleet width.
+func (p *Pipeline) Shards() int { return len(p.shards) }
+
+// worker drains one shard's queue. owned marks a worker-private session
 // (minted above), whose background resources the worker releases on the
 // way out; a shared hasher is left alone.
-func (p *Pipeline) worker(sess pow.Hasher, owned bool) {
+func (p *Pipeline) worker(sh *verifyShard, sess pow.Hasher, owned bool) {
 	defer p.wg.Done()
 	if owned {
 		defer pow.CloseHasher(sess)
 	}
 	hdr := make([]byte, 0, 128)
-	for t := range p.tasks {
+	for t := range sh.tasks {
 		if p.met != nil {
 			p.met.queueWait.ObserveSince(t.enq)
 		}
 		start := time.Now()
-		res := p.validator.Verify(sess, &hdr, t.miner, t.jobID, t.nonce)
+		var res ShareResult
+		if t.job != nil {
+			res = p.validator.VerifyAdmitted(sess, &hdr, t.miner, t.job, t.nonce)
+		} else {
+			res = p.validator.Verify(sess, &hdr, t.miner, t.jobID, t.nonce)
+		}
 		if p.met != nil {
 			p.met.verify.ObserveSince(start)
 			p.met.shares[res.Status].Inc()
@@ -180,30 +234,55 @@ func (p *Pipeline) worker(sess pow.Hasher, owned bool) {
 	}
 }
 
-// Submit enqueues a share for verification; reply (may be nil) is called
-// from a worker goroutine with the verdict. Submit blocks while the
-// queue is full — that is the backpressure mechanism — and returns
-// ctx.Err() if the context ends first, or ErrPipelineClosed after Close.
+// shardFor routes a miner to its session-pinned shard.
+func (p *Pipeline) shardFor(miner string) *verifyShard {
+	return &p.shards[minerHash(miner)%uint64(len(p.shards))]
+}
+
+// Submit enqueues an unresolved share for full verification (all
+// checks run on the shard worker); reply (may be nil) is called from
+// the worker goroutine with the verdict. Submit blocks while the
+// miner's shard queue is full — that is the backpressure mechanism —
+// and returns ctx.Err() if the context ends first, or ErrPipelineClosed
+// after Close.
 func (p *Pipeline) Submit(ctx context.Context, miner, jobID string, nonce uint64, reply func(ShareResult)) error {
+	return p.enqueue(ctx, submitTask{miner: miner, jobID: jobID, nonce: nonce, reply: reply})
+}
+
+// SubmitAdmitted enqueues a share the admission tier already resolved
+// and deduped. Same blocking/backpressure contract as Submit.
+func (p *Pipeline) SubmitAdmitted(ctx context.Context, miner string, job *Job, nonce uint64, reply func(ShareResult)) error {
+	return p.enqueue(ctx, submitTask{miner: miner, job: job, nonce: nonce, reply: reply})
+}
+
+func (p *Pipeline) enqueue(ctx context.Context, task submitTask) error {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
 		return ErrPipelineClosed
 	}
-	task := submitTask{miner: miner, jobID: jobID, nonce: nonce, reply: reply}
 	if p.met != nil {
 		task.enq = time.Now()
 	}
 	select {
-	case p.tasks <- task:
+	case p.shardFor(task.miner).tasks <- task:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
 
-// QueueDepth reports the shares currently waiting for a worker.
-func (p *Pipeline) QueueDepth() int { return len(p.tasks) }
+// QueueDepth reports the shares currently waiting across all shards.
+func (p *Pipeline) QueueDepth() int {
+	total := 0
+	for i := range p.shards {
+		total += len(p.shards[i].tasks)
+	}
+	return total
+}
+
+// ShardDepth reports the queued shares on one shard (gauge surface).
+func (p *Pipeline) ShardDepth(i int) int { return len(p.shards[i].tasks) }
 
 // Close drains queued shares (their replies still fire) and stops the
 // workers. Submit calls racing Close may be verified or may return
@@ -215,7 +294,9 @@ func (p *Pipeline) Close() {
 		return
 	}
 	p.closed = true
-	close(p.tasks)
+	for i := range p.shards {
+		close(p.shards[i].tasks)
+	}
 	p.mu.Unlock()
 	p.wg.Wait()
 }

@@ -142,6 +142,28 @@ func (c *Conn) WriteJSON(v any) error {
 	return err
 }
 
+// WriteLine writes one pre-serialized frame — a complete line whose
+// final byte must be '\n' — under the write lock, applying the
+// configured write deadline. It is the marshal-once fan-out path: the
+// caller rendered the frame once (or patched a shared template) and
+// the connection pays only the locked write, no per-conn encoding.
+func (c *Conn) WriteLine(line []byte) error {
+	if len(line) == 0 || line[len(line)-1] != '\n' {
+		return errors.New("wire: WriteLine frame must end in '\\n'")
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.cfg.WriteTimeout > 0 {
+		_ = c.nc.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	}
+	_, err := countingWriter{c}.Write(line)
+	if err == nil {
+		c.stats.frameOut()
+		c.tally.frameOut()
+	}
+	return err
+}
+
 // SetReadDeadline bounds the next read, for callers that enforce idle
 // timeouts above the framing layer.
 func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
